@@ -1,0 +1,108 @@
+//! Assembler source representation.
+
+use ring_cpu::isa::Opcode;
+
+/// A numeric expression: an optional label plus a constant offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Expr {
+    /// Symbol to resolve (intra-segment label or EQU name), if any.
+    pub symbol: Option<String>,
+    /// Constant addend (may be negative; the sum must land in 18 bits).
+    pub addend: i64,
+}
+
+impl Expr {
+    /// A bare constant.
+    pub fn constant(v: i64) -> Expr {
+        Expr {
+            symbol: None,
+            addend: v,
+        }
+    }
+
+    /// A bare symbol reference.
+    pub fn symbol(name: &str) -> Expr {
+        Expr {
+            symbol: Some(name.to_string()),
+            addend: 0,
+        }
+    }
+}
+
+/// The operand field of a machine instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Operand {
+    /// Base pointer register (`prN|`), if any.
+    pub pr: Option<u8>,
+    /// Offset expression.
+    pub expr: Expr,
+    /// Index register (`,xN`), if any.
+    pub index: Option<u8>,
+    /// Indirect (`,*`).
+    pub indirect: bool,
+    /// Immediate literal (`=expr`): the expression is the operand.
+    pub immediate: bool,
+}
+
+/// One parsed source statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// A machine instruction. `reg` carries the leading register operand
+    /// of EAP/SPRI/LDX/STX (the XREG field); `operand` the address
+    /// field, if present.
+    Instr {
+        /// The operation.
+        opcode: Opcode,
+        /// XREG-field register for the register-taking mnemonics.
+        reg: Option<u8>,
+        /// The address field.
+        operand: Option<Operand>,
+    },
+    /// `org expr` — set the location counter.
+    Org(Expr),
+    /// `dw expr, ...` — emit data words.
+    Dw(Vec<Expr>),
+    /// `bss expr` — reserve zeroed words.
+    Bss(Expr),
+    /// `its ring, segno, wordno [, i]` — emit an indirect-word pair.
+    Its {
+        /// Ring field of the pair.
+        ring: Expr,
+        /// Segment number field.
+        segno: Expr,
+        /// Word number field.
+        wordno: Expr,
+        /// Further-indirection flag.
+        indirect: bool,
+    },
+    /// `equ name, expr` — define an assembly-time symbol.
+    Equ(String, Expr),
+}
+
+/// A statement plus its source position and optional label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Line {
+    /// 1-based source line number (for diagnostics).
+    pub lineno: usize,
+    /// Label defined at this line, if any.
+    pub label: Option<String>,
+    /// The statement, if the line is not label-only/blank.
+    pub stmt: Option<Stmt>,
+}
+
+/// An assembly-time error with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub lineno: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.lineno, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}

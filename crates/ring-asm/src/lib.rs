@@ -1,0 +1,30 @@
+//! A two-pass assembler (and disassembler) for the simulator ISA.
+//!
+//! Labels are intra-segment — programs address other segments through
+//! pointer registers at run time, mirroring the segmented addressing
+//! discipline of the modelled machine. See [`parse`] for the grammar.
+//!
+//! # Example
+//!
+//! ```
+//! let out = ring_asm::assemble("
+//!         equ n, 3
+//!         lda =n
+//! loop:   sba =1
+//!         tnz loop
+//!         halt
+//! ").unwrap();
+//! assert_eq!(out.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assemble;
+pub mod ast;
+pub mod disasm;
+pub mod parse;
+
+pub use assemble::{assemble, Assembled};
+pub use ast::AsmError;
+pub use disasm::{disassemble, disassemble_word};

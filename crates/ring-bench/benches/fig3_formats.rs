@@ -1,0 +1,51 @@
+//! F3 — storage formats: pack/unpack throughput of SDWs, pointers,
+//! indirect words and instruction words (the encodings of Fig. 3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ring_core::addr::{AbsAddr, SegAddr};
+use ring_core::registers::{IndWord, PtrReg};
+use ring_core::ring::Ring;
+use ring_core::sdw::{Sdw, SdwBuilder};
+use ring_cpu::isa::{Instr, Opcode};
+
+fn bench_formats(c: &mut Criterion) {
+    let sdw = SdwBuilder::procedure(Ring::R1, Ring::R3, Ring::R5)
+        .gates(7)
+        .addr(AbsAddr::new(0o1234567).unwrap())
+        .bound(0o777)
+        .build();
+    let pr = PtrReg::new(Ring::R4, SegAddr::from_parts(0o1234, 0o56701).unwrap());
+    let iw = IndWord::new(
+        Ring::R5,
+        SegAddr::from_parts(0o777, 0o123456).unwrap(),
+        true,
+    );
+    let instr = Instr::pr_relative(Opcode::Lda, 3, 0o4321).with_indirect();
+
+    let mut g = c.benchmark_group("fig3_formats");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    g.bench_function("sdw_pack_unpack", |b| {
+        b.iter(|| {
+            let (w0, w1) = black_box(&sdw).pack();
+            Sdw::unpack(w0, w1)
+        })
+    });
+    g.bench_function("pointer_pack_unpack", |b| {
+        b.iter(|| PtrReg::unpack(black_box(pr).pack()))
+    });
+    g.bench_function("indword_pack_unpack", |b| {
+        b.iter(|| {
+            let (w0, w1) = black_box(iw).pack();
+            IndWord::unpack(w0, w1)
+        })
+    });
+    g.bench_function("instr_encode_decode", |b| {
+        b.iter(|| Instr::decode(black_box(instr).encode()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! F5 — effective-address formation through the real pipeline, swept
+//! over indirection depth (each level costs one validated pair fetch
+//! and two ring folds).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_core::registers::{IndWord, PtrReg};
+use ring_core::ring::Ring;
+use ring_core::sdw::SdwBuilder;
+use ring_cpu::isa::{Instr, Opcode};
+use ring_cpu::testkit::{addr, World};
+
+/// Builds a world with an indirection chain of the given depth starting
+/// in the table segment (11) and ending in the target segment (12).
+fn chain_world(depth: u32) -> (World, ring_core::addr::SegNo) {
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(64),
+    );
+    let table = w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(256));
+    let target = w.add_segment(12, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(64));
+    w.start(Ring::R4, code, 0);
+    for i in 0..depth {
+        let last = i + 1 == depth;
+        let next = if last {
+            addr(target.value(), 9)
+        } else {
+            addr(table.value(), 2 * (i + 1))
+        };
+        w.write_ind_word(table, 2 * i, IndWord::new(Ring::R4, next, !last));
+    }
+    w.machine
+        .set_pr(1, PtrReg::new(Ring::R4, addr(table.value(), 0)));
+    (w, code)
+}
+
+fn bench_ea(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_effective_address");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    for depth in [0u32, 1, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("indirection_depth", depth),
+            &depth,
+            |b, &d| {
+                let (mut w, code) = chain_world(d.max(1));
+                let instr = if d == 0 {
+                    Instr::pr_relative(Opcode::Lda, 1, 0)
+                } else {
+                    Instr::pr_relative(Opcode::Lda, 1, 0).with_indirect()
+                };
+                b.iter(|| {
+                    w.machine
+                        .effective_address(black_box(&instr), code)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ea);
+criterion_main!(benches);

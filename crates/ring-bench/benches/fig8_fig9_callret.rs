@@ -1,0 +1,60 @@
+//! F8/F9 — CALL and RETURN: the pure decision logic and full round
+//! trips through the pipeline, same-ring vs cross-ring (which the paper
+//! requires to be indistinguishable).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ring_core::callret::{check_call, check_return};
+use ring_core::ring::Ring;
+use ring_core::sdw::SdwBuilder;
+use ring_cpu::testkit::addr;
+use ring_os::baseline::hardware::HardRings;
+
+fn bench_callret(c: &mut Criterion) {
+    let gate = SdwBuilder::procedure(Ring::R1, Ring::R1, Ring::R5)
+        .gates(4)
+        .bound_words(64)
+        .build();
+    let user = SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R5)
+        .bound_words(64)
+        .build();
+
+    let mut g = c.benchmark_group("fig8_call_decision");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    g.bench_function("downward_gate", |b| {
+        b.iter(|| check_call(black_box(&gate), addr(20, 2), Ring::R4, Ring::R4, false).unwrap())
+    });
+    g.bench_function("same_ring_internal", |b| {
+        b.iter(|| check_call(black_box(&user), addr(20, 9), Ring::R4, Ring::R4, true).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig9_return_decision");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    g.bench_function("upward", |b| {
+        b.iter(|| check_return(black_box(&user), addr(20, 7), Ring::R4, Ring::R1).unwrap())
+    });
+    g.finish();
+
+    // Full pipeline round trips: the equality of these two is the
+    // paper's core performance claim.
+    let mut g = c.benchmark_group("fig8_fig9_round_trip");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    g.bench_function("same_ring_pipeline", |b| {
+        let mut f = HardRings::new(1, Ring::R4);
+        b.iter(|| f.run_once(1))
+    });
+    g.bench_function("cross_ring_pipeline", |b| {
+        let mut f = HardRings::new(1, Ring::R1);
+        b.iter(|| f.run_once(1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_callret);
+criterion_main!(benches);

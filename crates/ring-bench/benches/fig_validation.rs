@@ -1,0 +1,93 @@
+//! F1/F2/F4/F6/F7 — the per-reference validation predicates: the logic
+//! the paper says adds "very small additional costs in hardware logic
+//! and processor speed". Measures the pure decision functions over all
+//! rings, plus the differential oracle for comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ring_core::addr::SegAddr;
+use ring_core::oracle;
+use ring_core::ring::Ring;
+use ring_core::sdw::SdwBuilder;
+use ring_core::validate::{check_fetch, check_read, check_transfer, check_write};
+
+fn bench_validation(c: &mut Criterion) {
+    let data = SdwBuilder::data(Ring::R4, Ring::R5)
+        .bound_words(1024)
+        .build();
+    let proc_seg = SdwBuilder::procedure(Ring::R2, Ring::R4, Ring::R5)
+        .gates(4)
+        .bound_words(1024)
+        .build();
+    let addr = SegAddr::from_parts(100, 10).unwrap();
+
+    let mut g = c.benchmark_group("fig1_fig2_access_decisions");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    g.bench_function("read_all_rings", |b| {
+        b.iter(|| {
+            let mut allowed = 0u32;
+            for r in Ring::all() {
+                allowed += u32::from(check_read(black_box(&data), addr, r).is_ok());
+            }
+            allowed
+        })
+    });
+    g.bench_function("write_all_rings", |b| {
+        b.iter(|| {
+            let mut allowed = 0u32;
+            for r in Ring::all() {
+                allowed += u32::from(check_write(black_box(&data), addr, r).is_ok());
+            }
+            allowed
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig4_fetch_check");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    g.bench_function("fetch_all_rings", |b| {
+        b.iter(|| {
+            let mut allowed = 0u32;
+            for r in Ring::all() {
+                allowed += u32::from(check_fetch(black_box(&proc_seg), addr, r).is_ok());
+            }
+            allowed
+        })
+    });
+    g.bench_function("oracle_fetch_all_rings", |b| {
+        b.iter(|| {
+            let mut allowed = 0u32;
+            for r in Ring::all() {
+                allowed += u32::from(matches!(
+                    oracle::fetch(black_box(&proc_seg), 10, r),
+                    oracle::Outcome::Allowed(_)
+                ));
+            }
+            allowed
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig6_fig7_operand_checks");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    g.bench_function("read_write_pair", |b| {
+        b.iter(|| {
+            (
+                check_read(black_box(&data), addr, Ring::R4).is_ok(),
+                check_write(black_box(&data), addr, Ring::R4).is_ok(),
+            )
+        })
+    });
+    g.bench_function("transfer_advance_check", |b| {
+        b.iter(|| check_transfer(black_box(&proc_seg), addr, Ring::R3).is_ok())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! T1 — the headline comparison: one protected-call round trip under
+//! hardware rings (same-ring and cross-ring), 645-style software rings,
+//! and the two-mode machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ring_core::ring::Ring;
+use ring_os::baseline::graham67::Graham67;
+use ring_os::baseline::hardware::HardRings;
+use ring_os::baseline::soft645::Soft645;
+use ring_os::baseline::two_mode::TwoMode;
+
+fn bench_t1(c: &mut Criterion) {
+    let n = 2;
+    let mut g = c.benchmark_group("t1_crossing_cost");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    g.bench_function("hardware_same_ring", |b| {
+        let mut f = HardRings::new(n, Ring::R4);
+        b.iter(|| f.run_once(n))
+    });
+    g.bench_function("hardware_cross_ring", |b| {
+        let mut f = HardRings::new(n, Ring::R1);
+        b.iter(|| f.run_once(n))
+    });
+    g.bench_function("graham67_cross_ring", |b| {
+        let mut f = Graham67::new(n);
+        b.iter(|| f.run_once(n))
+    });
+    g.bench_function("soft645_cross_ring", |b| {
+        let mut f = Soft645::new(n);
+        b.iter(|| f.run_once(n))
+    });
+    g.bench_function("two_mode_syscall", |b| {
+        let mut f = TwoMode::new(n);
+        b.iter(|| f.run_once(n))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_t1);
+criterion_main!(benches);

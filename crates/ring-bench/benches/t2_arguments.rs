@@ -1,0 +1,34 @@
+//! T2 — argument-validation cost: round-trip cost vs argument count for
+//! each mechanism (hardware validates per reference; the software
+//! schemes validate the whole list up front).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_core::ring::Ring;
+use ring_os::baseline::hardware::HardRings;
+use ring_os::baseline::soft645::Soft645;
+use ring_os::baseline::two_mode::TwoMode;
+
+fn bench_t2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2_arguments");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    for n in [1u32, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("hardware", n), &n, |b, &n| {
+            let mut f = HardRings::new(n, Ring::R1);
+            b.iter(|| f.run_once(n))
+        });
+        g.bench_with_input(BenchmarkId::new("soft645", n), &n, |b, &n| {
+            let mut f = Soft645::new(n);
+            b.iter(|| f.run_once(n))
+        });
+        g.bench_with_input(BenchmarkId::new("two_mode", n), &n, |b, &n| {
+            let mut f = TwoMode::new(n);
+            b.iter(|| f.run_once(n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_t2);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! T3 — the file-search interface-design experiment from the paper's
+//! Conclusions: a complete in-supervisor search vs an unprotected
+//! library calling a small protected primitive per component.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_bench::tables::fs_search_cycles;
+
+fn bench_t3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t3_file_search");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    for depth in [1u32, 3, 6] {
+        g.bench_with_input(BenchmarkId::new("supervisor", depth), &depth, |b, &d| {
+            b.iter(|| fs_search_cycles(d, 6, false))
+        });
+        g.bench_with_input(BenchmarkId::new("library", depth), &depth, |b, &d| {
+            b.iter(|| fs_search_cycles(d, 6, true))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_t3);
+criterion_main!(benches);

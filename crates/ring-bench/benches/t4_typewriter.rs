@@ -1,0 +1,25 @@
+//! T4 — the typewriter-package experiment from the paper's Conclusions:
+//! the whole package in ring 0 vs only the buffer copy and channel
+//! start protected.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_bench::tables::tty_cycles;
+
+fn bench_t4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t4_typewriter");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    for len in [16u32, 64] {
+        g.bench_with_input(BenchmarkId::new("monolithic", len), &len, |b, &l| {
+            b.iter(|| tty_cycles(l, false))
+        });
+        g.bench_with_input(BenchmarkId::new("split", len), &len, |b, &l| {
+            b.iter(|| tty_cycles(l, true))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_t4);
+criterion_main!(benches);

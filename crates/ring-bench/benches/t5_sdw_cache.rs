@@ -1,0 +1,23 @@
+//! T5 — SDW associative-memory ablation: simulator throughput and
+//! simulated hit ratio across cache sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_bench::tables::sdw_cache_run;
+
+fn bench_t5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t5_sdw_cache");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    for cache in [0usize, 8, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("working_set_12", cache),
+            &cache,
+            |b, &cs| b.iter(|| sdw_cache_run(cs, 12)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_t5);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! T6 — effective-ring rule ablation: cost of the full rules vs the
+//! weakened 1969-thesis design (the protection they buy is shown by the
+//! attack matrix in the tables binary; here we show the folding is
+//! essentially free).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ring_bench::tables::argument_attack_succeeds;
+use ring_core::effective::EffectiveRingRules;
+use ring_core::ring::Ring;
+use ring_core::sdw::SdwBuilder;
+
+fn bench_t6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t6_ablation");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(30);
+    g.bench_function("attack_scenario_paper_rules", |b| {
+        b.iter(|| argument_attack_succeeds(EffectiveRingRules::PAPER))
+    });
+    g.bench_function("attack_scenario_no_tracking", |b| {
+        b.iter(|| argument_attack_succeeds(EffectiveRingRules::NO_IND_TRACKING))
+    });
+    // The fold itself: a handful of compares.
+    let sdw = SdwBuilder::data(Ring::R4, Ring::R4).build();
+    g.bench_function("fold_indirect_paper", |b| {
+        b.iter(|| {
+            ring_core::effective::fold_indirect(Ring::R1, Ring::R4, &sdw, EffectiveRingRules::PAPER)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_t6);
+criterion_main!(benches);

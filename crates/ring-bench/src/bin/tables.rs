@@ -1,0 +1,16 @@
+//! Prints every figure and experiment table (the data recorded in
+//! `EXPERIMENTS.md`).
+//!
+//! Usage: `cargo run -p ring-bench --bin tables [--figures|--tables]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let figures = args.is_empty() || args.iter().any(|a| a == "--figures");
+    let tables = args.is_empty() || args.iter().any(|a| a == "--tables");
+    if figures {
+        print!("{}", ring_bench::figures::all_figures());
+    }
+    if tables {
+        print!("{}", ring_bench::tables::all_tables());
+    }
+}

@@ -1,0 +1,351 @@
+//! Access modes and fault (trap) codes.
+//!
+//! Every condition that derails the instruction cycle — access violations
+//! from Figs. 4–9, missing segments and pages, privileged-instruction
+//! violations, timer runout, I/O completion — is represented as a
+//! [`Fault`]. When the processor detects one it forces the ring of
+//! execution to 0 and transfers to a fixed supervisor location (see
+//! `ring-cpu::trap`).
+
+use core::fmt;
+
+use crate::addr::SegAddr;
+use crate::ring::Ring;
+
+/// The three fundamental kinds of reference to a word of a segment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AccessMode {
+    /// Read the word (instruction operand fetch, indirect-word fetch).
+    Read,
+    /// Write the word.
+    Write,
+    /// Execute the word (instruction fetch).
+    Execute,
+}
+
+impl fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessMode::Read => "read",
+            AccessMode::Write => "write",
+            AccessMode::Execute => "execute",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why an access-violation fault was raised.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Violation {
+    /// The permission flag (R, W, or E) in the SDW is off.
+    FlagOff,
+    /// The validation ring lies outside the relevant bracket.
+    OutsideBracket,
+    /// A transfer of control entering a segment from a higher ring was
+    /// not directed at one of its gate locations.
+    NotAGate,
+    /// A CALL's effective ring lay above the top of the gate extension
+    /// (`TPR.RING > SDW.R3`).
+    AboveGateExtension,
+    /// A CALL whose new ring of execution would be *above* the current
+    /// ring (the `TPR.RING > IPR.RING` anomaly of Fig. 8): an apparent
+    /// same-ring or downward call that is in fact upward with respect to
+    /// the ring of execution.
+    CallRingAnomaly,
+    /// The word number exceeded the segment bound recorded in the SDW.
+    OutOfBounds,
+    /// The segment number exceeded the bound of the descriptor segment.
+    NoSuchSegment,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Violation::FlagOff => "permission flag off",
+            Violation::OutsideBracket => "ring outside bracket",
+            Violation::NotAGate => "transfer not directed at a gate",
+            Violation::AboveGateExtension => "effective ring above gate extension",
+            Violation::CallRingAnomaly => "call would raise the ring of execution",
+            Violation::OutOfBounds => "word number out of bounds",
+            Violation::NoSuchSegment => "segment number beyond descriptor segment",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A condition requiring software intervention (a trap).
+///
+/// Faults are ordinary values in the simulator; the processor converts
+/// them into a control transfer to ring 0.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Fault {
+    /// Hardware access validation failed (Figs. 4, 6, 7, 8, 9).
+    AccessViolation {
+        /// The kind of reference that was attempted.
+        mode: AccessMode,
+        /// Why it was refused.
+        violation: Violation,
+        /// The two-part address whose reference was refused.
+        addr: SegAddr,
+        /// The ring number the reference was validated against.
+        ring: Ring,
+    },
+    /// A CALL to a segment whose execute-bracket bottom is above the
+    /// effective ring — an upward call, performed by software.
+    UpwardCall {
+        /// Address of the called entry point.
+        target: SegAddr,
+        /// Effective ring of the call.
+        ring: Ring,
+    },
+    /// A RETURN whose effective ring is below the current ring of
+    /// execution — a downward return, performed by software.
+    DownwardReturn {
+        /// Address of the return point.
+        target: SegAddr,
+        /// Effective ring of the return.
+        ring: Ring,
+    },
+    /// The SDW's directed-fault bit was off: the segment is not in main
+    /// memory (segment fault). Carries the SDW's 2-bit fault class.
+    SegmentFault {
+        /// The two-part address whose translation faulted.
+        addr: SegAddr,
+        /// Directed-fault class from `SDW.FC`.
+        class: u8,
+    },
+    /// A page-table word's present bit was off (page fault).
+    PageFault {
+        /// The two-part address whose translation faulted.
+        addr: SegAddr,
+    },
+    /// A privileged instruction was attempted outside ring 0.
+    PrivilegedViolation {
+        /// The ring of execution at the attempt.
+        ring: Ring,
+    },
+    /// The opcode field did not decode to an implemented instruction.
+    IllegalOpcode {
+        /// The offending opcode field value.
+        opcode: u16,
+    },
+    /// The tag field held the reserved modifier value.
+    IllegalModifier,
+    /// Effective-address formation followed more than the implementation
+    /// limit of chained indirect words (a defence against indirection
+    /// loops; real hardware would cycle forever).
+    IndirectLimit,
+    /// Explicit software-trap (derail) instruction.
+    Derail {
+        /// The instruction's offset field, available to the handler.
+        code: u32,
+    },
+    /// The interval timer ran out (processor multiplexing).
+    TimerRunout,
+    /// An I/O channel signalled completion.
+    IoCompletion {
+        /// Channel number that completed.
+        channel: u8,
+    },
+    /// A reference to physical memory beyond its configured size — a
+    /// wiring/configuration error, not a program error.
+    PhysicalBounds {
+        /// The absolute address of the reference.
+        abs: u32,
+    },
+    /// Execution reached a HALT instruction in ring 0 (orderly stop).
+    Halt,
+}
+
+impl Fault {
+    /// True for the two conditions the paper singles out as requiring
+    /// software completion of a legitimate operation (rather than an
+    /// error): upward calls and downward returns.
+    pub fn is_ring_crossing_assist(&self) -> bool {
+        matches!(
+            self,
+            Fault::UpwardCall { .. } | Fault::DownwardReturn { .. }
+        )
+    }
+
+    /// True if this fault reports an access violation.
+    pub fn is_access_violation(&self) -> bool {
+        matches!(self, Fault::AccessViolation { .. })
+    }
+
+    /// The trap vector slot this fault is dispatched through.
+    ///
+    /// The processor transfers to `trap_base + vector()` in the ring-0
+    /// trap segment.
+    pub fn vector(&self) -> u32 {
+        match self {
+            Fault::AccessViolation { .. } => vector::ACCESS_VIOLATION,
+            Fault::UpwardCall { .. } => vector::UPWARD_CALL,
+            Fault::DownwardReturn { .. } => vector::DOWNWARD_RETURN,
+            Fault::SegmentFault { .. } => vector::SEGMENT_FAULT,
+            Fault::PageFault { .. } => vector::PAGE_FAULT,
+            Fault::PrivilegedViolation { .. } => vector::PRIVILEGED,
+            Fault::IllegalOpcode { .. } => vector::ILLEGAL_OPCODE,
+            Fault::IllegalModifier => vector::ILLEGAL_MODIFIER,
+            Fault::IndirectLimit => vector::INDIRECT_LIMIT,
+            Fault::Derail { .. } => vector::DERAIL,
+            Fault::TimerRunout => vector::TIMER_RUNOUT,
+            Fault::IoCompletion { .. } => vector::IO_COMPLETION,
+            Fault::PhysicalBounds { .. } => vector::PHYSICAL_BOUNDS,
+            Fault::Halt => vector::HALT,
+        }
+    }
+
+    /// Number of distinct trap vectors.
+    pub const NUM_VECTORS: u32 = 14;
+}
+
+/// Named trap vector numbers (see [`Fault::vector`]).
+pub mod vector {
+    /// Access violation (Figs. 4–9 checks).
+    pub const ACCESS_VIOLATION: u32 = 0;
+    /// Upward call requiring software assistance.
+    pub const UPWARD_CALL: u32 = 1;
+    /// Downward return requiring software assistance.
+    pub const DOWNWARD_RETURN: u32 = 2;
+    /// Missing segment (directed fault).
+    pub const SEGMENT_FAULT: u32 = 3;
+    /// Missing page.
+    pub const PAGE_FAULT: u32 = 4;
+    /// Privileged instruction outside ring 0.
+    pub const PRIVILEGED: u32 = 5;
+    /// Undecodable opcode.
+    pub const ILLEGAL_OPCODE: u32 = 6;
+    /// Reserved address modifier.
+    pub const ILLEGAL_MODIFIER: u32 = 7;
+    /// Indirect-chain limit exceeded.
+    pub const INDIRECT_LIMIT: u32 = 8;
+    /// Explicit derail (software trap).
+    pub const DERAIL: u32 = 9;
+    /// Interval timer runout.
+    pub const TIMER_RUNOUT: u32 = 10;
+    /// I/O channel completion.
+    pub const IO_COMPLETION: u32 = 11;
+    /// Physical-memory bounds (configuration error).
+    pub const PHYSICAL_BOUNDS: u32 = 12;
+    /// Orderly halt.
+    pub const HALT: u32 = 13;
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::AccessViolation {
+                mode,
+                violation,
+                addr,
+                ring,
+            } => write!(
+                f,
+                "access violation: {mode} of {addr} from ring {ring}: {violation}"
+            ),
+            Fault::UpwardCall { target, ring } => {
+                write!(f, "upward call to {target} from ring {ring}")
+            }
+            Fault::DownwardReturn { target, ring } => {
+                write!(f, "downward return to {target} at ring {ring}")
+            }
+            Fault::SegmentFault { addr, class } => {
+                write!(f, "segment fault (class {class}) at {addr}")
+            }
+            Fault::PageFault { addr } => write!(f, "page fault at {addr}"),
+            Fault::PrivilegedViolation { ring } => {
+                write!(f, "privileged instruction in ring {ring}")
+            }
+            Fault::IllegalOpcode { opcode } => write!(f, "illegal opcode {opcode:#o}"),
+            Fault::IllegalModifier => f.write_str("illegal address modifier"),
+            Fault::IndirectLimit => f.write_str("indirect chain limit exceeded"),
+            Fault::Derail { code } => write!(f, "derail ({code})"),
+            Fault::TimerRunout => f.write_str("timer runout"),
+            Fault::IoCompletion { channel } => write!(f, "I/O completion on channel {channel}"),
+            Fault::PhysicalBounds { abs } => write!(f, "physical address {abs:#o} out of range"),
+            Fault::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::SegAddr;
+
+    fn some_addr() -> SegAddr {
+        SegAddr::from_parts(5, 100).unwrap()
+    }
+
+    #[test]
+    fn vectors_are_distinct_and_in_range() {
+        let faults = [
+            Fault::AccessViolation {
+                mode: AccessMode::Read,
+                violation: Violation::FlagOff,
+                addr: some_addr(),
+                ring: Ring::R4,
+            },
+            Fault::UpwardCall {
+                target: some_addr(),
+                ring: Ring::R4,
+            },
+            Fault::DownwardReturn {
+                target: some_addr(),
+                ring: Ring::R1,
+            },
+            Fault::SegmentFault {
+                addr: some_addr(),
+                class: 0,
+            },
+            Fault::PageFault { addr: some_addr() },
+            Fault::PrivilegedViolation { ring: Ring::R4 },
+            Fault::IllegalOpcode { opcode: 0o777 },
+            Fault::IllegalModifier,
+            Fault::IndirectLimit,
+            Fault::Derail { code: 3 },
+            Fault::TimerRunout,
+            Fault::IoCompletion { channel: 1 },
+            Fault::PhysicalBounds { abs: 0 },
+            Fault::Halt,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for fa in faults {
+            assert!(fa.vector() < Fault::NUM_VECTORS);
+            assert!(seen.insert(fa.vector()), "duplicate vector for {fa:?}");
+        }
+        assert_eq!(seen.len() as u32, Fault::NUM_VECTORS);
+    }
+
+    #[test]
+    fn ring_crossing_assists_identified() {
+        assert!(Fault::UpwardCall {
+            target: some_addr(),
+            ring: Ring::R4
+        }
+        .is_ring_crossing_assist());
+        assert!(Fault::DownwardReturn {
+            target: some_addr(),
+            ring: Ring::R1
+        }
+        .is_ring_crossing_assist());
+        assert!(!Fault::TimerRunout.is_ring_crossing_assist());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let fa = Fault::AccessViolation {
+            mode: AccessMode::Write,
+            violation: Violation::OutsideBracket,
+            addr: some_addr(),
+            ring: Ring::R5,
+        };
+        let s = fa.to_string();
+        assert!(s.contains("write"));
+        assert!(s.contains("ring 5"));
+        assert!(s.contains("5|100"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Two-part (segmented) and absolute addresses.
+//!
+//! A machine-language program never references memory by absolute
+//! address. Its memory consists of independent segments identified by
+//! number; the two-part address `(s, w)` identifies word `w` of segment
+//! `s`. The processor translates two-part addresses to absolute addresses
+//! through the descriptor segment.
+
+use core::fmt;
+
+use crate::word::Word;
+
+/// Width of a segment number field.
+pub const SEGNO_BITS: u32 = 15;
+/// Width of a word number (intra-segment offset) field.
+pub const WORDNO_BITS: u32 = 18;
+/// Width of an absolute (physical) address field in an SDW.
+pub const ABS_BITS: u32 = 24;
+
+/// Maximum segment number.
+pub const MAX_SEGNO: u32 = (1 << SEGNO_BITS) - 1;
+/// Maximum word number within a segment.
+pub const MAX_WORDNO: u32 = (1 << WORDNO_BITS) - 1;
+
+/// A 15-bit segment number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegNo(u16);
+
+impl SegNo {
+    /// Creates a segment number, returning `None` if it exceeds 15 bits.
+    #[inline]
+    pub const fn new(n: u32) -> Option<SegNo> {
+        if n <= MAX_SEGNO {
+            Some(SegNo(n as u16))
+        } else {
+            None
+        }
+    }
+
+    /// Decodes a segment number from the low 15 bits of a field.
+    #[inline]
+    pub const fn from_bits(n: u64) -> SegNo {
+        SegNo((n & MAX_SEGNO as u64) as u16)
+    }
+
+    /// Returns the numeric value.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Debug for SegNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg#{}", self.0)
+    }
+}
+
+impl fmt::Display for SegNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An 18-bit word number (offset within a segment).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WordNo(u32);
+
+impl WordNo {
+    /// Word number zero — where the gate list of a segment begins.
+    pub const ZERO: WordNo = WordNo(0);
+
+    /// Creates a word number, returning `None` if it exceeds 18 bits.
+    #[inline]
+    pub const fn new(n: u32) -> Option<WordNo> {
+        if n <= MAX_WORDNO {
+            Some(WordNo(n))
+        } else {
+            None
+        }
+    }
+
+    /// Decodes a word number from the low 18 bits of a field.
+    #[inline]
+    pub const fn from_bits(n: u64) -> WordNo {
+        WordNo((n & MAX_WORDNO as u64) as u32)
+    }
+
+    /// Returns the numeric value.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Adds an offset modulo 2^18 (address arithmetic wraps within the
+    /// 18-bit word-number field, as it does in the hardware adder).
+    #[inline]
+    #[must_use]
+    pub fn wrapping_add(self, offset: u32) -> WordNo {
+        WordNo((self.0.wrapping_add(offset)) & MAX_WORDNO)
+    }
+
+    /// Adds a signed offset modulo 2^18.
+    #[inline]
+    #[must_use]
+    pub fn wrapping_add_signed(self, offset: i32) -> WordNo {
+        WordNo((self.0.wrapping_add(offset as u32)) & MAX_WORDNO)
+    }
+}
+
+impl fmt::Debug for WordNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for WordNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A two-part virtual address `(segno, wordno)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegAddr {
+    /// Segment number.
+    pub segno: SegNo,
+    /// Word number within the segment.
+    pub wordno: WordNo,
+}
+
+impl SegAddr {
+    /// Creates a two-part address.
+    #[inline]
+    pub const fn new(segno: SegNo, wordno: WordNo) -> SegAddr {
+        SegAddr { segno, wordno }
+    }
+
+    /// Convenience constructor from raw numbers.
+    ///
+    /// Returns `None` if either part is out of range.
+    #[inline]
+    pub fn from_parts(segno: u32, wordno: u32) -> Option<SegAddr> {
+        Some(SegAddr {
+            segno: SegNo::new(segno)?,
+            wordno: WordNo::new(wordno)?,
+        })
+    }
+}
+
+impl fmt::Debug for SegAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}|{}", self.segno, self.wordno)
+    }
+}
+
+impl fmt::Display for SegAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}|{}", self.segno, self.wordno)
+    }
+}
+
+/// A 24-bit absolute (physical) word address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AbsAddr(u32);
+
+impl AbsAddr {
+    /// Physical address zero.
+    pub const ZERO: AbsAddr = AbsAddr(0);
+
+    /// Creates an absolute address, returning `None` beyond 24 bits.
+    #[inline]
+    pub const fn new(a: u32) -> Option<AbsAddr> {
+        if a < (1 << ABS_BITS) {
+            Some(AbsAddr(a))
+        } else {
+            None
+        }
+    }
+
+    /// Decodes from the low 24 bits of a field.
+    #[inline]
+    pub const fn from_bits(a: u64) -> AbsAddr {
+        AbsAddr((a & ((1 << ABS_BITS) - 1)) as u32)
+    }
+
+    /// Returns the numeric value.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Offsets the address, saturating at the 24-bit limit is *not*
+    /// performed; the caller is responsible for bound checks. Wraps
+    /// modulo 2^24 like the hardware address adder.
+    #[inline]
+    #[must_use]
+    pub fn wrapping_add(self, offset: u32) -> AbsAddr {
+        AbsAddr(self.0.wrapping_add(offset) & ((1 << ABS_BITS) - 1))
+    }
+}
+
+impl fmt::Debug for AbsAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "abs:{:o}", self.0)
+    }
+}
+
+/// Packs `(ring, segno, wordno)` into the canonical 36-bit pointer layout
+/// used by pointer registers and indirect words: `wordno[0..18]`,
+/// `segno[18..33]`, `ring[33..36]`.
+#[inline]
+pub fn pack_pointer(ring: crate::ring::Ring, addr: SegAddr) -> Word {
+    Word::ZERO
+        .with_field(0, WORDNO_BITS, addr.wordno.value() as u64)
+        .with_field(WORDNO_BITS, SEGNO_BITS, addr.segno.value() as u64)
+        .with_field(WORDNO_BITS + SEGNO_BITS, 3, u64::from(ring.number()))
+}
+
+/// Unpacks the canonical pointer layout produced by [`pack_pointer`].
+#[inline]
+pub fn unpack_pointer(w: Word) -> (crate::ring::Ring, SegAddr) {
+    let wordno = WordNo::from_bits(w.field(0, WORDNO_BITS));
+    let segno = SegNo::from_bits(w.field(WORDNO_BITS, SEGNO_BITS));
+    let ring = crate::ring::Ring::from_bits(w.field(WORDNO_BITS + SEGNO_BITS, 3));
+    (ring, SegAddr::new(segno, wordno))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::Ring;
+
+    #[test]
+    fn segno_bounds() {
+        assert!(SegNo::new(MAX_SEGNO).is_some());
+        assert!(SegNo::new(MAX_SEGNO + 1).is_none());
+    }
+
+    #[test]
+    fn wordno_bounds_and_wrapping() {
+        assert!(WordNo::new(MAX_WORDNO).is_some());
+        assert!(WordNo::new(MAX_WORDNO + 1).is_none());
+        let w = WordNo::new(MAX_WORDNO).unwrap();
+        assert_eq!(w.wrapping_add(1), WordNo::ZERO);
+        assert_eq!(WordNo::ZERO.wrapping_add_signed(-1).value(), MAX_WORDNO);
+    }
+
+    #[test]
+    fn abs_addr_bounds() {
+        assert!(AbsAddr::new((1 << 24) - 1).is_some());
+        assert!(AbsAddr::new(1 << 24).is_none());
+        let a = AbsAddr::new((1 << 24) - 1).unwrap();
+        assert_eq!(a.wrapping_add(1), AbsAddr::ZERO);
+    }
+
+    #[test]
+    fn pointer_pack_round_trip() {
+        for ring in Ring::all() {
+            let addr = SegAddr::from_parts(0o1234, 0o65432).unwrap();
+            let w = pack_pointer(ring, addr);
+            let (r2, a2) = unpack_pointer(w);
+            assert_eq!(r2, ring);
+            assert_eq!(a2, addr);
+        }
+    }
+
+    #[test]
+    fn pointer_pack_extremes() {
+        let addr = SegAddr::from_parts(MAX_SEGNO, MAX_WORDNO).unwrap();
+        let w = pack_pointer(Ring::R7, addr);
+        let (r, a) = unpack_pointer(w);
+        assert_eq!(r, Ring::R7);
+        assert_eq!(a, addr);
+    }
+}

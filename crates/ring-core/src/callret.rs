@@ -1,0 +1,474 @@
+//! CALL and RETURN decision logic — Figs. 8 and 9 of the paper.
+//!
+//! CALL and RETURN are the only two instructions that can change the
+//! ring of execution. CALL switches the ring *down* (or not at all);
+//! RETURN switches it *up* (or not at all). Upward calls and downward
+//! returns trap so that software can perform the environment
+//! adjustments the hardware cannot (argument accessibility, dynamic
+//! return gates).
+//!
+//! The functions here are pure: they take the SDW of the target segment,
+//! the effective address (including the effective ring `TPR.RING`), the
+//! current ring of execution `IPR.RING`, and produce either a decision
+//! (the new ring of execution) or a fault. The machine in `ring-cpu`
+//! performs the state changes — stack-base generation in `PR0`,
+//! pointer-register ring-floor raising — that the decisions call for.
+
+use crate::access::{AccessMode, Fault, Violation};
+use crate::addr::{SegAddr, SegNo};
+use crate::registers::Dbr;
+use crate::ring::Ring;
+use crate::sdw::Sdw;
+
+/// How CALL selects the segment number of the new ring's stack segment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StackRule {
+    /// The rule illustrated in Fig. 8 proper: the stack segment number
+    /// *is* the new ring number (segments 0–7 are the stacks).
+    RingIsSegno,
+    /// The Fig. 8 footnote rule: a ring-changing CALL takes
+    /// `DBR.stack_base + new_ring`; a same-ring CALL keeps the segment
+    /// number already in the stack pointer register, permitting
+    /// non-standard stacks, preserved stack history after errors, and
+    /// forked stacks.
+    #[default]
+    DbrBase,
+}
+
+/// The outcome of a successful CALL validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CallDecision {
+    /// The ring of execution after the call (`<= IPR.RING`).
+    pub new_ring: Ring,
+    /// True if the call crossed into a lower-numbered ring.
+    pub downward: bool,
+    /// True if the transfer entered through the gate extension (so the
+    /// gate list was consulted).
+    pub via_gate_extension: bool,
+}
+
+/// The outcome of a successful RETURN validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReturnDecision {
+    /// The ring of execution after the return (`>= IPR.RING`).
+    pub new_ring: Ring,
+    /// True if the return raised the ring number; the machine must then
+    /// raise every `PRn.RING` to at least `new_ring`.
+    pub upward: bool,
+}
+
+/// Fig. 8 — validates a CALL.
+///
+/// * `sdw` — descriptor of the segment containing the entry point.
+/// * `target` — effective address of the entry point.
+/// * `effective_ring` — `TPR.RING` ("the access validation for the CALL
+///   instruction is made relative to the ring number computed as part of
+///   the effective address").
+/// * `current_ring` — `IPR.RING`.
+/// * `same_segment` — true when the entry point lies in the segment that
+///   contains the CALL instruction itself; such calls (internal
+///   procedures) are exempt from the gate-list restriction.
+///
+/// Decision structure:
+///
+/// 1. Segment present, word in bounds, execute flag on.
+/// 2. `TPR.RING > R3` — above the gate extension: access violation.
+/// 3. `TPR.RING < R1` — the execute-bracket bottom is above the
+///    effective ring: an **upward call**, returned as the
+///    [`Fault::UpwardCall`] trap for software to perform.
+/// 4. Gate check (unless `same_segment`): the entry word must be one of
+///    the gate locations `0 .. SDW.GATE`. This applies *even to
+///    same-ring calls* — the paper uses the gate list to catch
+///    accidental calls to words that are not entry points.
+/// 5. The new ring is `min(TPR.RING, R2)`: unchanged for a call within
+///    the execute bracket, lowered to the bracket top for a call through
+///    the gate extension.
+/// 6. If the new ring would exceed `IPR.RING` (possible only because
+///    `TPR.RING` can exceed `IPR.RING` through PR-relative addressing or
+///    indirection), the call is an upward call *in disguise* and the
+///    paper mandates an access violation — even when the current ring is
+///    within the execute bracket.
+///
+/// # Examples
+///
+/// ```
+/// use ring_core::callret::check_call;
+/// use ring_core::ring::Ring;
+/// use ring_core::sdw::SdwBuilder;
+/// use ring_core::addr::SegAddr;
+///
+/// // A supervisor gate segment: executes in ring 0, gates 0..4 open
+/// // through ring 5.
+/// let sdw = SdwBuilder::procedure(Ring::R0, Ring::R0, Ring::R5)
+///     .gates(4)
+///     .bound_words(64)
+///     .build();
+/// let gate = SegAddr::from_parts(2, 1).unwrap();
+/// // A ring-4 caller enters through the gate extension; the ring of
+/// // execution switches down to the bracket top — no trap.
+/// let d = check_call(&sdw, gate, Ring::R4, Ring::R4, false).unwrap();
+/// assert_eq!(d.new_ring, Ring::R0);
+/// assert!(d.downward && d.via_gate_extension);
+/// ```
+pub fn check_call(
+    sdw: &Sdw,
+    target: SegAddr,
+    effective_ring: Ring,
+    current_ring: Ring,
+    same_segment: bool,
+) -> Result<CallDecision, Fault> {
+    sdw.check_present_and_bounds(AccessMode::Execute, target)?;
+    if !sdw.execute {
+        return Err(Fault::AccessViolation {
+            mode: AccessMode::Execute,
+            violation: Violation::FlagOff,
+            addr: target,
+            ring: effective_ring,
+        });
+    }
+    if effective_ring > sdw.r3 {
+        return Err(Fault::AccessViolation {
+            mode: AccessMode::Execute,
+            violation: Violation::AboveGateExtension,
+            addr: target,
+            ring: effective_ring,
+        });
+    }
+    if effective_ring < sdw.r1 {
+        return Err(Fault::UpwardCall {
+            target,
+            ring: effective_ring,
+        });
+    }
+    if !same_segment && !sdw.is_gate(target.wordno) {
+        return Err(Fault::AccessViolation {
+            mode: AccessMode::Execute,
+            violation: Violation::NotAGate,
+            addr: target,
+            ring: effective_ring,
+        });
+    }
+    let via_gate_extension = effective_ring > sdw.r2;
+    let new_ring = effective_ring.most_privileged(sdw.r2);
+    if new_ring > current_ring {
+        return Err(Fault::AccessViolation {
+            mode: AccessMode::Execute,
+            violation: Violation::CallRingAnomaly,
+            addr: target,
+            ring: effective_ring,
+        });
+    }
+    Ok(CallDecision {
+        new_ring,
+        downward: new_ring < current_ring,
+        via_gate_extension,
+    })
+}
+
+/// Fig. 9 — validates a RETURN.
+///
+/// The ring to which the return is made is the effective ring
+/// (`TPR.RING`). Because the effective ring is a running maximum seeded
+/// with the current ring of execution, it can never be *numerically
+/// below* `IPR.RING`; a **downward return** therefore manifests in
+/// hardware as an effective ring *above the target's execute-bracket
+/// top* — the return point is executable only in a lower ring than any
+/// ring the returning procedure can name. That case traps so the
+/// supervisor can perform it against its stack of dynamically created
+/// return gates (the paper: "processor mechanisms to provide dynamic,
+/// stacked return gates are not obvious at this time").
+///
+/// Decision structure:
+///
+/// 1. Segment present, word in bounds, execute flag on.
+/// 2. `TPR.RING < R1` — below the bracket bottom: access violation
+///    (the accidental-execution-in-a-lower-ring protection).
+/// 3. `TPR.RING > R2` — the downward-return trap.
+/// 4. Otherwise the new ring is `TPR.RING`; if that is above
+///    `IPR.RING` the return is upward and the machine must raise every
+///    `PRn.RING` to at least the new ring.
+///
+/// An effective ring below the current ring cannot arise from
+/// effective-address formation; if supervisor-crafted state produces
+/// one anyway it is treated as a downward return (software decides).
+///
+/// # Examples
+///
+/// ```
+/// use ring_core::callret::check_return;
+/// use ring_core::ring::Ring;
+/// use ring_core::sdw::SdwBuilder;
+/// use ring_core::addr::SegAddr;
+///
+/// // Returning from ring 0 to a ring-4 caller: the return pointer's
+/// // ring (folded into the effective ring) is at least 4.
+/// let user = SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R5)
+///     .bound_words(64)
+///     .build();
+/// let ret = SegAddr::from_parts(10, 7).unwrap();
+/// let d = check_return(&user, ret, Ring::R4, Ring::R0).unwrap();
+/// assert_eq!(d.new_ring, Ring::R4);
+/// assert!(d.upward, "all PRn.RING must now be floored at ring 4");
+/// ```
+pub fn check_return(
+    sdw: &Sdw,
+    target: SegAddr,
+    effective_ring: Ring,
+    current_ring: Ring,
+) -> Result<ReturnDecision, Fault> {
+    sdw.check_present_and_bounds(AccessMode::Execute, target)?;
+    if !sdw.execute {
+        return Err(Fault::AccessViolation {
+            mode: AccessMode::Execute,
+            violation: Violation::FlagOff,
+            addr: target,
+            ring: effective_ring,
+        });
+    }
+    if effective_ring < sdw.r1 {
+        return Err(Fault::AccessViolation {
+            mode: AccessMode::Execute,
+            violation: Violation::OutsideBracket,
+            addr: target,
+            ring: effective_ring,
+        });
+    }
+    if effective_ring > sdw.r2 || effective_ring < current_ring {
+        return Err(Fault::DownwardReturn {
+            target,
+            ring: effective_ring,
+        });
+    }
+    Ok(ReturnDecision {
+        new_ring: effective_ring,
+        upward: effective_ring > current_ring,
+    })
+}
+
+/// Fig. 8 — the stack-segment selection performed by CALL.
+///
+/// Returns the segment number CALL writes into the `PR0` stack-base
+/// pointer (pointing at word 0 of the stack segment for the new ring of
+/// execution).
+pub fn call_stack_segno(
+    rule: StackRule,
+    dbr: &Dbr,
+    current_sp_segno: SegNo,
+    ring_changed: bool,
+    new_ring: Ring,
+) -> SegNo {
+    match rule {
+        StackRule::RingIsSegno => SegNo::from_bits(u64::from(new_ring.number())),
+        StackRule::DbrBase => {
+            if ring_changed {
+                dbr.stack_segno(new_ring)
+            } else {
+                current_sp_segno
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AbsAddr;
+    use crate::sdw::SdwBuilder;
+
+    fn gate_seg(r1: Ring, r2: Ring, r3: Ring, gates: u32) -> Sdw {
+        SdwBuilder::procedure(r1, r2, r3)
+            .gates(gates)
+            .bound_words(1024)
+            .build()
+    }
+
+    fn at(w: u32) -> SegAddr {
+        SegAddr::from_parts(40, w).unwrap()
+    }
+
+    #[test]
+    fn downward_call_through_gate() {
+        // Supervisor gate segment: executes in ring 1, gates open to 5.
+        let sdw = gate_seg(Ring::R0, Ring::R1, Ring::R5, 4);
+        let d = check_call(&sdw, at(2), Ring::R4, Ring::R4, false).unwrap();
+        assert_eq!(d.new_ring, Ring::R1);
+        assert!(d.downward);
+        assert!(d.via_gate_extension);
+    }
+
+    #[test]
+    fn downward_call_must_hit_a_gate() {
+        let sdw = gate_seg(Ring::R0, Ring::R1, Ring::R5, 4);
+        match check_call(&sdw, at(4), Ring::R4, Ring::R4, false) {
+            Err(Fault::AccessViolation {
+                violation: Violation::NotAGate,
+                ..
+            }) => {}
+            other => panic!("expected gate violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_above_gate_extension_is_violation() {
+        let sdw = gate_seg(Ring::R0, Ring::R1, Ring::R5, 4);
+        match check_call(&sdw, at(0), Ring::R6, Ring::R6, false) {
+            Err(Fault::AccessViolation {
+                violation: Violation::AboveGateExtension,
+                ..
+            }) => {}
+            other => panic!("expected extension violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_ring_call_keeps_ring_but_needs_gate() {
+        let sdw = gate_seg(Ring::R4, Ring::R4, Ring::R7, 2);
+        let d = check_call(&sdw, at(1), Ring::R4, Ring::R4, false).unwrap();
+        assert_eq!(d.new_ring, Ring::R4);
+        assert!(!d.downward);
+        assert!(!d.via_gate_extension);
+        assert!(matches!(
+            check_call(&sdw, at(2), Ring::R4, Ring::R4, false),
+            Err(Fault::AccessViolation {
+                violation: Violation::NotAGate,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn same_segment_call_skips_gate_list() {
+        // Internal procedure call: word 100 is not a gate but the call is
+        // within the instruction's own segment.
+        let sdw = gate_seg(Ring::R4, Ring::R4, Ring::R7, 2);
+        let d = check_call(&sdw, at(100), Ring::R4, Ring::R4, true).unwrap();
+        assert_eq!(d.new_ring, Ring::R4);
+    }
+
+    #[test]
+    fn upward_call_traps_for_software() {
+        // Ring-1 supervisor calls a ring-4 user procedure.
+        let sdw = gate_seg(Ring::R4, Ring::R4, Ring::R5, 2);
+        match check_call(&sdw, at(0), Ring::R1, Ring::R1, false) {
+            Err(Fault::UpwardCall { ring: r, .. }) => assert_eq!(r, Ring::R1),
+            other => panic!("expected upward-call trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tpr_above_ipr_anomaly_is_violation_even_inside_bracket() {
+        // The Fig. 8 anomaly: effective ring 5 (e.g. from a caller-
+        // supplied pointer) targets a segment whose bracket contains 5,
+        // while executing in ring 2. The new ring (5) would be above the
+        // ring of execution — access violation, not a ring switch.
+        let sdw = gate_seg(Ring::R3, Ring::R6, Ring::R6, 2);
+        match check_call(&sdw, at(0), Ring::R5, Ring::R2, false) {
+            Err(Fault::AccessViolation {
+                violation: Violation::CallRingAnomaly,
+                ..
+            }) => {}
+            other => panic!("expected anomaly violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_extension_boundary_is_inclusive() {
+        let sdw = gate_seg(Ring::R0, Ring::R1, Ring::R5, 1);
+        assert!(check_call(&sdw, at(0), Ring::R5, Ring::R5, false).is_ok());
+        assert!(check_call(&sdw, at(0), Ring::R6, Ring::R6, false).is_err());
+    }
+
+    #[test]
+    fn call_requires_execute_flag_and_bounds() {
+        let sdw = SdwBuilder::data(Ring::R4, Ring::R4).bound_words(64).build();
+        assert!(matches!(
+            check_call(&sdw, at(0), Ring::R4, Ring::R4, false),
+            Err(Fault::AccessViolation {
+                violation: Violation::FlagOff,
+                ..
+            })
+        ));
+        let proc = gate_seg(Ring::R4, Ring::R4, Ring::R4, 1);
+        let beyond = SegAddr::from_parts(40, 0o700000).unwrap();
+        assert!(matches!(
+            check_call(&proc, beyond, Ring::R4, Ring::R4, false),
+            Err(Fault::AccessViolation {
+                violation: Violation::OutOfBounds,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn upward_return_and_same_ring_return() {
+        let user = gate_seg(Ring::R4, Ring::R4, Ring::R5, 1);
+        // Returning from ring 1 up to ring 4.
+        let d = check_return(&user, at(7), Ring::R4, Ring::R1).unwrap();
+        assert_eq!(d.new_ring, Ring::R4);
+        assert!(d.upward);
+        // Same-ring return.
+        let d = check_return(&user, at(7), Ring::R4, Ring::R4).unwrap();
+        assert!(!d.upward);
+    }
+
+    #[test]
+    fn downward_return_traps_when_target_bracket_is_below() {
+        // After an upward call (ring 1 -> ring 4), the ring-4 procedure
+        // returns through a pointer whose ring is necessarily >= 4; the
+        // ring-1 return point has execute bracket [1,1], so the
+        // effective ring (4) is above the bracket top: the hardware
+        // hands the downward return to software.
+        let sup = gate_seg(Ring::R1, Ring::R1, Ring::R5, 1);
+        match check_return(&sup, at(3), Ring::R4, Ring::R4) {
+            Err(Fault::DownwardReturn { ring, .. }) => assert_eq!(ring, Ring::R4),
+            other => panic!("expected downward-return trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crafted_effective_ring_below_current_also_traps_downward() {
+        // Unreachable through effective-address formation (TPR.RING is
+        // a running max seeded with IPR.RING), but defended anyway.
+        let sup = gate_seg(Ring::R1, Ring::R1, Ring::R5, 1);
+        match check_return(&sup, at(3), Ring::R1, Ring::R4) {
+            Err(Fault::DownwardReturn { ring, .. }) => assert_eq!(ring, Ring::R1),
+            other => panic!("expected downward-return trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn return_below_bracket_bottom_is_violation() {
+        // Returning "into" a segment whose bracket bottom is above the
+        // effective ring is the accidental-low-ring-execution error,
+        // not a ring crossing.
+        let user = gate_seg(Ring::R4, Ring::R5, Ring::R5, 1);
+        assert!(matches!(
+            check_return(&user, at(3), Ring::R2, Ring::R2),
+            Err(Fault::AccessViolation {
+                violation: Violation::OutsideBracket,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn stack_selection_rules() {
+        let dbr = Dbr::new(AbsAddr::ZERO, 0, SegNo::new(0o200).unwrap());
+        let sp = SegNo::new(0o321).unwrap();
+        // Plain rule: segno == ring number.
+        assert_eq!(
+            call_stack_segno(StackRule::RingIsSegno, &dbr, sp, true, Ring::R1).value(),
+            1
+        );
+        // Footnote rule, ring changed: DBR base + ring.
+        assert_eq!(
+            call_stack_segno(StackRule::DbrBase, &dbr, sp, true, Ring::R1).value(),
+            0o201
+        );
+        // Footnote rule, same ring: keep the current stack segment.
+        assert_eq!(
+            call_stack_segno(StackRule::DbrBase, &dbr, sp, false, Ring::R4),
+            sp
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Core formats and decision logic of the Schroeder–Saltzer ring
+//! protection hardware (SOSP 1971 / CACM 15(3), 1972).
+//!
+//! This crate is the paper's primary contribution distilled to pure
+//! logic, independent of any particular machine: the storage formats of
+//! Fig. 3 ([`sdw`], [`registers`], [`addr`], [`word`]), the access
+//! brackets and ring arithmetic ([`ring`]), the per-reference validation
+//! predicates of Figs. 4, 6 and 7 ([`validate`]), the effective-ring
+//! maximisation rules of Fig. 5 ([`effective`]), and the CALL/RETURN
+//! ring-switching decisions of Figs. 8 and 9 ([`callret`]).
+//!
+//! The `ring-cpu` crate drives this logic from a full instruction-cycle
+//! simulator; `ring-segmem` supplies the segmented memory it validates
+//! against; `ring-os` builds a Multics-like layered supervisor on top.
+//!
+//! An independent, deliberately naive re-derivation of every decision
+//! lives in [`oracle`] and is diffed against the production logic in
+//! exhaustive tests.
+//!
+//! # Example: validating references against a segment's brackets
+//!
+//! ```
+//! use ring_core::ring::Ring;
+//! use ring_core::sdw::SdwBuilder;
+//! use ring_core::validate;
+//! use ring_core::addr::SegAddr;
+//!
+//! // The writable data segment of the paper's Fig. 1: write bracket
+//! // [0,4], read bracket [0,5], not executable.
+//! let sdw = SdwBuilder::data(Ring::R4, Ring::R5).bound_words(1024).build();
+//! let addr = SegAddr::from_parts(100, 12).unwrap();
+//!
+//! assert!(validate::check_write(&sdw, addr, Ring::R4).is_ok());
+//! assert!(validate::check_write(&sdw, addr, Ring::R5).is_err()); // outside bracket
+//! assert!(validate::check_read(&sdw, addr, Ring::R5).is_ok());
+//! assert!(validate::check_read(&sdw, addr, Ring::R6).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod addr;
+pub mod callret;
+pub mod effective;
+pub mod oracle;
+pub mod registers;
+pub mod ring;
+pub mod sdw;
+pub mod validate;
+pub mod word;
+
+pub use access::{AccessMode, Fault, Violation};
+pub use addr::{AbsAddr, SegAddr, SegNo, WordNo};
+pub use registers::{Dbr, IndWord, Ipr, PtrReg, Tpr};
+pub use ring::{Bracket, Ring};
+pub use sdw::{Sdw, SdwBuilder, SdwFlags};
+pub use word::Word;

@@ -1,0 +1,297 @@
+//! An independent reference oracle for differential testing.
+//!
+//! The functions here re-derive the access decisions of Figs. 4–9
+//! directly from the prose of the paper, in a deliberately naive style
+//! (explicit case enumeration over ring numbers, no shared helpers), so
+//! that a bug in the production logic of [`crate::validate`],
+//! [`crate::effective`] or [`crate::callret`] is unlikely to be mirrored
+//! here. Tests and benches compare the two implementations over
+//! exhaustive and randomised inputs.
+//!
+//! The oracle reports only coarse outcomes ([`Outcome`]), not detailed
+//! fault payloads.
+
+use crate::ring::Ring;
+use crate::sdw::Sdw;
+
+/// Coarse classification of a validation outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The reference is permitted; for CALL/RETURN the new ring of
+    /// execution is carried alongside.
+    Allowed(Ring),
+    /// The reference is refused with an access violation.
+    Violation,
+    /// The operation traps for software assistance (upward call or
+    /// downward return).
+    SoftwareAssist,
+    /// The segment is missing (directed fault).
+    Missing,
+}
+
+fn in_range(lo: u8, x: u8, hi: u8) -> bool {
+    lo <= x && x <= hi
+}
+
+/// Oracle for Fig. 4: may `ring` execute word `wordno` of `sdw`?
+pub fn fetch(sdw: &Sdw, wordno: u32, ring: Ring) -> Outcome {
+    if !sdw.present {
+        return Outcome::Missing;
+    }
+    if wordno / 16 > sdw.bound {
+        return Outcome::Violation;
+    }
+    if !sdw.execute {
+        return Outcome::Violation;
+    }
+    let r = ring.number();
+    if in_range(sdw.r1.number(), r, sdw.r2.number()) {
+        Outcome::Allowed(ring)
+    } else {
+        Outcome::Violation
+    }
+}
+
+/// Oracle for Fig. 6 (read): may validation level `ring` read?
+pub fn read(sdw: &Sdw, wordno: u32, ring: Ring) -> Outcome {
+    if !sdw.present {
+        return Outcome::Missing;
+    }
+    if wordno / 16 > sdw.bound {
+        return Outcome::Violation;
+    }
+    if !sdw.read {
+        return Outcome::Violation;
+    }
+    if ring.number() <= sdw.r2.number() {
+        Outcome::Allowed(ring)
+    } else {
+        Outcome::Violation
+    }
+}
+
+/// Oracle for Fig. 6 (write): may validation level `ring` write?
+pub fn write(sdw: &Sdw, wordno: u32, ring: Ring) -> Outcome {
+    if !sdw.present {
+        return Outcome::Missing;
+    }
+    if wordno / 16 > sdw.bound {
+        return Outcome::Violation;
+    }
+    if !sdw.write {
+        return Outcome::Violation;
+    }
+    if ring.number() <= sdw.r1.number() {
+        Outcome::Allowed(ring)
+    } else {
+        Outcome::Violation
+    }
+}
+
+/// Oracle for Fig. 8: outcome of a CALL with effective ring `eff` while
+/// executing in `cur`.
+pub fn call(sdw: &Sdw, wordno: u32, eff: Ring, cur: Ring, same_segment: bool) -> Outcome {
+    if !sdw.present {
+        return Outcome::Missing;
+    }
+    if wordno / 16 > sdw.bound {
+        return Outcome::Violation;
+    }
+    if !sdw.execute {
+        return Outcome::Violation;
+    }
+    let (r1, r2, r3) = (sdw.r1.number(), sdw.r2.number(), sdw.r3.number());
+    let e = eff.number();
+    if e > r3 {
+        return Outcome::Violation;
+    }
+    if e < r1 {
+        return Outcome::SoftwareAssist;
+    }
+    if !same_segment && wordno >= sdw.gate {
+        return Outcome::Violation;
+    }
+    let new_ring = if e <= r2 { e } else { r2 };
+    if new_ring > cur.number() {
+        return Outcome::Violation;
+    }
+    Outcome::Allowed(Ring::new(new_ring).expect("3-bit ring"))
+}
+
+/// Oracle for Fig. 9: outcome of a RETURN with effective ring `eff`
+/// while executing in `cur`.
+pub fn ret(sdw: &Sdw, wordno: u32, eff: Ring, cur: Ring) -> Outcome {
+    if !sdw.present {
+        return Outcome::Missing;
+    }
+    if wordno / 16 > sdw.bound {
+        return Outcome::Violation;
+    }
+    if !sdw.execute {
+        return Outcome::Violation;
+    }
+    if eff.number() < sdw.r1.number() {
+        return Outcome::Violation;
+    }
+    if eff.number() > sdw.r2.number() || eff.number() < cur.number() {
+        return Outcome::SoftwareAssist;
+    }
+    Outcome::Allowed(eff)
+}
+
+/// Oracle for the Fig. 5 effective-ring rule: the effective ring is the
+/// plain maximum of every contribution.
+pub fn effective_ring(contributions: &[u8]) -> Ring {
+    let m = contributions.iter().copied().max().unwrap_or(0);
+    Ring::new(m.min(7)).expect("clamped")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Fault;
+    use crate::addr::SegAddr;
+    use crate::sdw::SdwBuilder;
+    use crate::validate;
+
+    /// Maps a production-logic result onto the oracle's coarse outcomes.
+    fn coarse(result: Result<Option<Ring>, Fault>) -> Outcome {
+        match result {
+            Ok(Some(r)) => Outcome::Allowed(r),
+            Ok(None) => unreachable!(),
+            Err(Fault::SegmentFault { .. }) => Outcome::Missing,
+            Err(Fault::UpwardCall { .. }) | Err(Fault::DownwardReturn { .. }) => {
+                Outcome::SoftwareAssist
+            }
+            Err(_) => Outcome::Violation,
+        }
+    }
+
+    /// Exhaustive differential test of read/write/fetch over every
+    /// ordered ring triple, flag combination, presence state and
+    /// validation ring: 120 triples × 8 flag subsets × 2 presence
+    /// states = 1 920 SDW shapes, × 8 rings × 3 modes = 46 080
+    /// decisions.
+    #[test]
+    fn exhaustive_diff_fetch_read_write() {
+        let addr = SegAddr::from_parts(3, 8).unwrap();
+        for r1 in 0..8u8 {
+            for r2 in r1..8 {
+                for r3 in r2..8 {
+                    for flags in 0..8u8 {
+                        for present in [true, false] {
+                            let sdw = SdwBuilder::new()
+                                .rings(
+                                    Ring::new(r1).unwrap(),
+                                    Ring::new(r2).unwrap(),
+                                    Ring::new(r3).unwrap(),
+                                )
+                                .read(flags & 1 != 0)
+                                .write(flags & 2 != 0)
+                                .execute(flags & 4 != 0)
+                                .present(present)
+                                .bound_words(64)
+                                .build();
+                            for ring in Ring::all() {
+                                assert_eq!(
+                                    coarse(
+                                        validate::check_fetch(&sdw, addr, ring).map(|_| Some(ring))
+                                    ),
+                                    fetch(&sdw, addr.wordno.value(), ring),
+                                    "fetch diff at r=({r1},{r2},{r3}) flags={flags} ring={ring}"
+                                );
+                                assert_eq!(
+                                    coarse(
+                                        validate::check_read(&sdw, addr, ring).map(|_| Some(ring))
+                                    ),
+                                    read(&sdw, addr.wordno.value(), ring),
+                                    "read diff"
+                                );
+                                assert_eq!(
+                                    coarse(
+                                        validate::check_write(&sdw, addr, ring).map(|_| Some(ring))
+                                    ),
+                                    write(&sdw, addr.wordno.value(), ring),
+                                    "write diff"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exhaustive differential test of CALL over ring triples, gate
+    /// membership, same-segment exemption, and (effective, current) ring
+    /// pairs with effective >= current (the only reachable pairs, since
+    /// TPR.RING is a running maximum seeded with IPR.RING).
+    #[test]
+    fn exhaustive_diff_call() {
+        for r1 in 0..8u8 {
+            for r2 in r1..8 {
+                for r3 in r2..8 {
+                    let sdw = SdwBuilder::procedure(
+                        Ring::new(r1).unwrap(),
+                        Ring::new(r2).unwrap(),
+                        Ring::new(r3).unwrap(),
+                    )
+                    .gates(4)
+                    .bound_words(64)
+                    .build();
+                    for wordno in [0u32, 3, 4, 40] {
+                        let addr = SegAddr::from_parts(3, wordno).unwrap();
+                        for cur in Ring::all() {
+                            for eff in Ring::all().filter(|e| *e >= cur) {
+                                for same in [false, true] {
+                                    let got = coarse(
+                                        crate::callret::check_call(&sdw, addr, eff, cur, same)
+                                            .map(|d| Some(d.new_ring)),
+                                    );
+                                    let want = call(&sdw, wordno, eff, cur, same);
+                                    assert_eq!(
+                                        got, want,
+                                        "call diff r=({r1},{r2},{r3}) w={wordno} eff={eff} cur={cur} same={same}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_diff_return() {
+        for r1 in 0..8u8 {
+            for r2 in r1..8 {
+                let sdw = SdwBuilder::procedure(
+                    Ring::new(r1).unwrap(),
+                    Ring::new(r2).unwrap(),
+                    Ring::new(r2).unwrap(),
+                )
+                .bound_words(64)
+                .build();
+                let addr = SegAddr::from_parts(3, 9).unwrap();
+                for cur in Ring::all() {
+                    for eff in Ring::all() {
+                        let got = coarse(
+                            crate::callret::check_return(&sdw, addr, eff, cur)
+                                .map(|d| Some(d.new_ring)),
+                        );
+                        let want = ret(&sdw, 9, eff, cur);
+                        assert_eq!(got, want, "return diff ({r1},{r2}) eff={eff} cur={cur}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_ring_oracle_is_plain_max() {
+        assert_eq!(effective_ring(&[0, 3, 1]), Ring::R3);
+        assert_eq!(effective_ring(&[]), Ring::R0);
+        assert_eq!(effective_ring(&[7, 7]), Ring::R7);
+    }
+}

@@ -1,0 +1,345 @@
+//! Processor registers and indirect-word formats — Fig. 3 of the paper.
+//!
+//! * [`Ipr`] — the instruction pointer: current ring of execution plus
+//!   the two-part address of the next instruction.
+//! * [`PtrReg`] — a program-accessible pointer register `PRn`: a two-part
+//!   address plus a ring number used as a *validation level* (the
+//!   mechanism by which a procedure voluntarily assumes the access
+//!   capabilities of a higher-numbered ring when referencing arguments).
+//! * [`Tpr`] — the temporary pointer register, internal to the processor,
+//!   holding the effective address *and effective ring* of each virtual
+//!   memory reference.
+//! * [`IndWord`] — an indirect word: the same information as a pointer
+//!   register plus a further-indirection flag. Stored as a two-word pair.
+//! * [`Dbr`] — the descriptor base register, including the stack-base
+//!   field of the Fig. 8 footnote.
+
+use crate::addr::{pack_pointer, unpack_pointer, AbsAddr, SegAddr, SegNo, WordNo};
+use crate::ring::Ring;
+use crate::word::Word;
+
+/// Number of program-accessible pointer registers.
+pub const NUM_PR: usize = 8;
+
+/// The instruction pointer register: ring of execution + next-instruction
+/// address.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Ipr {
+    /// Current ring of execution.
+    pub ring: Ring,
+    /// Two-part address of the next instruction.
+    pub addr: SegAddr,
+}
+
+impl Ipr {
+    /// Creates an instruction pointer.
+    pub fn new(ring: Ring, addr: SegAddr) -> Ipr {
+        Ipr { ring, addr }
+    }
+
+    /// Packs into the canonical 36-bit pointer layout (for state saving).
+    pub fn pack(self) -> Word {
+        pack_pointer(self.ring, self.addr)
+    }
+
+    /// Unpacks from the canonical pointer layout.
+    pub fn unpack(w: Word) -> Ipr {
+        let (ring, addr) = unpack_pointer(w);
+        Ipr { ring, addr }
+    }
+}
+
+/// A program-accessible pointer register (`PR0` through `PR7`).
+///
+/// The hardware maintains the invariant that `PRn.RING >= IPR.RING` at
+/// all times: EAP-type instructions (the only way to load a PR) copy
+/// `TPR.RING`, which is itself a running maximum seeded with `IPR.RING`,
+/// and an upward RETURN raises every `PRn.RING` to at least the new ring.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct PtrReg {
+    /// Validation-level ring number.
+    pub ring: Ring,
+    /// Two-part address.
+    pub addr: SegAddr,
+}
+
+impl PtrReg {
+    /// A pointer register pointing at `0|0` with ring 0.
+    pub const NULL: PtrReg = PtrReg {
+        ring: Ring::R0,
+        addr: SegAddr {
+            segno: SegNo::from_bits(0),
+            wordno: WordNo::ZERO,
+        },
+    };
+
+    /// Creates a pointer register value.
+    pub fn new(ring: Ring, addr: SegAddr) -> PtrReg {
+        PtrReg { ring, addr }
+    }
+
+    /// Packs into the canonical 36-bit pointer layout.
+    pub fn pack(self) -> Word {
+        pack_pointer(self.ring, self.addr)
+    }
+
+    /// Unpacks from the canonical pointer layout.
+    pub fn unpack(w: Word) -> PtrReg {
+        let (ring, addr) = unpack_pointer(w);
+        PtrReg { ring, addr }
+    }
+
+    /// Raises the ring field to at least `floor` (used by upward RETURN:
+    /// "the ring number fields in all pointer registers are replaced
+    /// with the larger of their current values and the new ring of
+    /// execution").
+    #[must_use]
+    pub fn with_ring_floor(self, floor: Ring) -> PtrReg {
+        PtrReg {
+            ring: self.ring.least_privileged(floor),
+            addr: self.addr,
+        }
+    }
+}
+
+/// The temporary pointer register: effective address + effective ring.
+///
+/// `TPR.RING` records the highest-numbered ring from which any procedure
+/// in the same process could have influenced the effective-address
+/// calculation; the actual operand reference is validated against it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Tpr {
+    /// Effective ring number for validation.
+    pub ring: Ring,
+    /// Effective two-part address.
+    pub addr: SegAddr,
+}
+
+impl Tpr {
+    /// Seeds the TPR for a new effective-address calculation: the ring
+    /// starts at the current ring of execution.
+    pub fn seed(ipr: Ipr, addr: SegAddr) -> Tpr {
+        Tpr {
+            ring: ipr.ring,
+            addr,
+        }
+    }
+
+    /// Folds another ring number into the effective ring (running max).
+    #[must_use]
+    pub fn max_ring(self, other: Ring) -> Tpr {
+        Tpr {
+            ring: self.ring.least_privileged(other),
+            addr: self.addr,
+        }
+    }
+
+    /// Replaces the address part, keeping the effective ring.
+    #[must_use]
+    pub fn with_addr(self, addr: SegAddr) -> Tpr {
+        Tpr { addr, ..self }
+    }
+}
+
+/// An indirect word: a pointer plus a further-indirection flag.
+///
+/// Stored as a pair of words: word 0 is the canonical pointer layout;
+/// bit 0 of word 1 is the indirect flag (`IND.I`). The remaining bits of
+/// word 1 are reserved and preserved as zero by [`IndWord::pack`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct IndWord {
+    /// Validation-level ring number (`IND.RING`).
+    pub ring: Ring,
+    /// Target two-part address.
+    pub addr: SegAddr,
+    /// Further-indirection flag (`IND.I`).
+    pub indirect: bool,
+}
+
+impl IndWord {
+    /// Creates an indirect word.
+    pub fn new(ring: Ring, addr: SegAddr, indirect: bool) -> IndWord {
+        IndWord {
+            ring,
+            addr,
+            indirect,
+        }
+    }
+
+    /// Builds the argument-list form: an indirect word generated by
+    /// storing pointer register `pr` (SPRI), with no further indirection.
+    pub fn from_ptr(pr: PtrReg) -> IndWord {
+        IndWord {
+            ring: pr.ring,
+            addr: pr.addr,
+            indirect: false,
+        }
+    }
+
+    /// Packs into the two-word storage pair.
+    pub fn pack(self) -> (Word, Word) {
+        (
+            pack_pointer(self.ring, self.addr),
+            Word::ZERO.with_bit(0, self.indirect),
+        )
+    }
+
+    /// Unpacks from the two-word storage pair.
+    pub fn unpack(w0: Word, w1: Word) -> IndWord {
+        let (ring, addr) = unpack_pointer(w0);
+        IndWord {
+            ring,
+            addr,
+            indirect: w1.bit(0),
+        }
+    }
+}
+
+/// The descriptor base register.
+///
+/// Besides the absolute address and bound of the descriptor segment, the
+/// DBR carries the stack-base field of the paper's Fig. 8 footnote: the
+/// segment numbers of the eight standard per-ring stack segments are
+/// `stack_base + ring`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Dbr {
+    /// Absolute address of the descriptor segment (an array of two-word
+    /// SDWs indexed by segment number).
+    pub addr: AbsAddr,
+    /// Number of SDWs in the descriptor segment; segment numbers
+    /// `>= bound` do not exist in this virtual memory.
+    pub bound: u32,
+    /// Base segment number of the eight consecutive per-ring stack
+    /// segments.
+    pub stack_base: SegNo,
+}
+
+impl Dbr {
+    /// Creates a descriptor base register value.
+    pub fn new(addr: AbsAddr, bound: u32, stack_base: SegNo) -> Dbr {
+        Dbr {
+            addr,
+            bound,
+            stack_base,
+        }
+    }
+
+    /// Absolute address of the SDW pair for `segno`, or `None` if the
+    /// segment number is beyond the descriptor segment bound.
+    pub fn sdw_addr(&self, segno: SegNo) -> Option<AbsAddr> {
+        if segno.value() < self.bound {
+            Some(self.addr.wrapping_add(2 * segno.value()))
+        } else {
+            None
+        }
+    }
+
+    /// Segment number of the standard stack segment for `ring`
+    /// (Fig. 8 footnote: `stack_base + ring`).
+    pub fn stack_segno(&self, ring: Ring) -> SegNo {
+        SegNo::from_bits(u64::from(self.stack_base.value()) + u64::from(ring.number()))
+    }
+
+    /// Encodes the DBR into the two-word operand format consumed by the
+    /// privileged LDBR instruction: word 0 holds `ADDR[0..24]`; word 1
+    /// holds `BOUND[0..16]` and `STACK_BASE[16..31]`.
+    pub fn pack(self) -> (Word, Word) {
+        (
+            Word::ZERO.with_field(0, 24, u64::from(self.addr.value())),
+            Word::ZERO
+                .with_field(0, 16, u64::from(self.bound.min((1 << 16) - 1)))
+                .with_field(16, 15, u64::from(self.stack_base.value())),
+        )
+    }
+
+    /// Decodes the two-word LDBR operand format.
+    pub fn unpack(w0: Word, w1: Word) -> Dbr {
+        Dbr {
+            addr: AbsAddr::from_bits(w0.field(0, 24)),
+            bound: w1.field(0, 16) as u32,
+            stack_base: SegNo::from_bits(w1.field(16, 15)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: u32, w: u32) -> SegAddr {
+        SegAddr::from_parts(s, w).unwrap()
+    }
+
+    #[test]
+    fn ipr_pack_round_trip() {
+        let ipr = Ipr::new(Ring::R4, addr(100, 0o777));
+        assert_eq!(Ipr::unpack(ipr.pack()), ipr);
+    }
+
+    #[test]
+    fn ptr_reg_ring_floor() {
+        let pr = PtrReg::new(Ring::R2, addr(5, 9));
+        assert_eq!(pr.with_ring_floor(Ring::R4).ring, Ring::R4);
+        assert_eq!(pr.with_ring_floor(Ring::R1).ring, Ring::R2);
+        assert_eq!(pr.with_ring_floor(Ring::R4).addr, pr.addr);
+    }
+
+    #[test]
+    fn tpr_seed_and_max() {
+        let ipr = Ipr::new(Ring::R3, addr(1, 1));
+        let tpr = Tpr::seed(ipr, addr(2, 2));
+        assert_eq!(tpr.ring, Ring::R3);
+        assert_eq!(tpr.max_ring(Ring::R1).ring, Ring::R3);
+        assert_eq!(tpr.max_ring(Ring::R6).ring, Ring::R6);
+    }
+
+    #[test]
+    fn ind_word_pack_round_trip() {
+        for indirect in [false, true] {
+            let iw = IndWord::new(Ring::R5, addr(0o777, 0o123456), indirect);
+            let (w0, w1) = iw.pack();
+            assert_eq!(IndWord::unpack(w0, w1), iw);
+        }
+    }
+
+    #[test]
+    fn ind_word_from_ptr_copies_ring() {
+        let pr = PtrReg::new(Ring::R6, addr(9, 9));
+        let iw = IndWord::from_ptr(pr);
+        assert_eq!(iw.ring, Ring::R6);
+        assert_eq!(iw.addr, pr.addr);
+        assert!(!iw.indirect);
+    }
+
+    #[test]
+    fn dbr_sdw_addressing() {
+        let dbr = Dbr::new(AbsAddr::new(0o1000).unwrap(), 4, SegNo::from_bits(0o200));
+        assert_eq!(
+            dbr.sdw_addr(SegNo::new(0).unwrap()),
+            Some(AbsAddr::new(0o1000).unwrap())
+        );
+        assert_eq!(
+            dbr.sdw_addr(SegNo::new(3).unwrap()),
+            Some(AbsAddr::new(0o1006).unwrap())
+        );
+        assert_eq!(dbr.sdw_addr(SegNo::new(4).unwrap()), None);
+    }
+
+    #[test]
+    fn dbr_pack_round_trip() {
+        let dbr = Dbr::new(
+            AbsAddr::new(0o7777777).unwrap(),
+            0o54321,
+            SegNo::new(0o31234).unwrap(),
+        );
+        let (w0, w1) = dbr.pack();
+        assert_eq!(Dbr::unpack(w0, w1), dbr);
+    }
+
+    #[test]
+    fn dbr_stack_selection_rule() {
+        let dbr = Dbr::new(AbsAddr::ZERO, 0, SegNo::from_bits(0o200));
+        assert_eq!(dbr.stack_segno(Ring::R0).value(), 0o200);
+        assert_eq!(dbr.stack_segno(Ring::R7).value(), 0o207);
+    }
+}

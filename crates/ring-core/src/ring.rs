@@ -1,0 +1,217 @@
+//! Ring numbers and access brackets.
+//!
+//! A process executes in one of `r` concentric protection rings numbered
+//! `0..r`. Ring 0 carries the greatest access privilege and ring `r - 1`
+//! the least; the capability sets of consecutive rings form nested
+//! subsets. The paper (and Multics) chose `r = 8`, which also matches the
+//! 3-bit ring fields of the hardware formats, so this implementation fixes
+//! eight rings.
+
+use core::fmt;
+
+/// Number of protection rings (3-bit ring numbers).
+pub const NUM_RINGS: u8 = 8;
+
+/// A protection ring number in `0..=7`.
+///
+/// Lower numbers are *more* privileged. `Ring` is `Ord` by its numeric
+/// value, so "more privileged" is `<` and "less privileged" is `>`.
+///
+/// # Examples
+///
+/// ```
+/// use ring_core::ring::Ring;
+///
+/// let supervisor = Ring::R0;
+/// let user = Ring::new(4).unwrap();
+/// assert!(supervisor < user); // ring 0 is the most privileged
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ring(u8);
+
+impl Ring {
+    /// Ring 0 — the most privileged ring (the hard-core supervisor).
+    pub const R0: Ring = Ring(0);
+    /// Ring 1 — the outer supervisor layer in Multics.
+    pub const R1: Ring = Ring(1);
+    /// Ring 2.
+    pub const R2: Ring = Ring(2);
+    /// Ring 3.
+    pub const R3: Ring = Ring(3);
+    /// Ring 4 — the standard user ring in Multics.
+    pub const R4: Ring = Ring(4);
+    /// Ring 5.
+    pub const R5: Ring = Ring(5);
+    /// Ring 6.
+    pub const R6: Ring = Ring(6);
+    /// Ring 7 — the least privileged ring.
+    pub const R7: Ring = Ring(7);
+
+    /// The least privileged ring, `NUM_RINGS - 1`.
+    pub const LEAST: Ring = Ring(NUM_RINGS - 1);
+
+    /// Creates a ring from a number, returning `None` if out of range.
+    #[inline]
+    pub const fn new(n: u8) -> Option<Ring> {
+        if n < NUM_RINGS {
+            Some(Ring(n))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a ring from the low 3 bits of `n` (hardware field decode).
+    #[inline]
+    pub const fn from_bits(n: u64) -> Ring {
+        Ring((n & 0b111) as u8)
+    }
+
+    /// Returns the numeric ring value.
+    #[inline]
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the more privileged (numerically smaller) of two rings.
+    #[inline]
+    pub fn most_privileged(self, other: Ring) -> Ring {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the less privileged (numerically larger) of two rings.
+    ///
+    /// This is the fundamental "maximisation" operation of the effective
+    /// ring calculation (Fig. 5 of the paper).
+    #[inline]
+    pub fn least_privileged(self, other: Ring) -> Ring {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Iterates over all rings from 0 to 7.
+    pub fn all() -> impl Iterator<Item = Ring> {
+        (0..NUM_RINGS).map(Ring)
+    }
+}
+
+impl fmt::Debug for Ring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ring({})", self.0)
+    }
+}
+
+impl fmt::Display for Ring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An inclusive range of rings `[bottom, top]`.
+///
+/// Brackets describe where in the ring hierarchy an access capability is
+/// available. The write and read brackets always have bottom 0; the
+/// execute bracket may have an arbitrary bottom (`SDW.R1`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Bracket {
+    /// Most privileged ring included in the bracket.
+    pub bottom: Ring,
+    /// Least privileged ring included in the bracket.
+    pub top: Ring,
+}
+
+impl Bracket {
+    /// Creates a bracket; returns `None` if `bottom > top`.
+    #[inline]
+    pub fn new(bottom: Ring, top: Ring) -> Option<Bracket> {
+        if bottom <= top {
+            Some(Bracket { bottom, top })
+        } else {
+            None
+        }
+    }
+
+    /// Bracket spanning rings 0 through `top` inclusive.
+    #[inline]
+    pub fn down_to_zero(top: Ring) -> Bracket {
+        Bracket {
+            bottom: Ring::R0,
+            top,
+        }
+    }
+
+    /// True if `ring` lies within the bracket (inclusive on both ends).
+    #[inline]
+    pub fn contains(self, ring: Ring) -> bool {
+        self.bottom <= ring && ring <= self.top
+    }
+}
+
+impl fmt::Display for Bracket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.bottom, self.top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_range_enforced() {
+        assert!(Ring::new(7).is_some());
+        assert!(Ring::new(8).is_none());
+        assert_eq!(Ring::new(0), Some(Ring::R0));
+    }
+
+    #[test]
+    fn from_bits_masks_to_three_bits() {
+        assert_eq!(Ring::from_bits(0b111), Ring::R7);
+        assert_eq!(Ring::from_bits(0b1000), Ring::R0);
+        assert_eq!(Ring::from_bits(13), Ring::R5);
+    }
+
+    #[test]
+    fn privilege_ordering_is_numeric() {
+        assert!(Ring::R0 < Ring::R7);
+        assert_eq!(Ring::R3.least_privileged(Ring::R5), Ring::R5);
+        assert_eq!(Ring::R3.most_privileged(Ring::R5), Ring::R3);
+        assert_eq!(Ring::R4.least_privileged(Ring::R4), Ring::R4);
+    }
+
+    #[test]
+    fn all_yields_eight_rings_in_order() {
+        let v: Vec<u8> = Ring::all().map(Ring::number).collect();
+        assert_eq!(v, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn bracket_containment() {
+        let b = Bracket::new(Ring::R2, Ring::R5).unwrap();
+        assert!(!b.contains(Ring::R1));
+        assert!(b.contains(Ring::R2));
+        assert!(b.contains(Ring::R4));
+        assert!(b.contains(Ring::R5));
+        assert!(!b.contains(Ring::R6));
+    }
+
+    #[test]
+    fn inverted_bracket_rejected() {
+        assert!(Bracket::new(Ring::R5, Ring::R2).is_none());
+        assert!(Bracket::new(Ring::R5, Ring::R5).is_some());
+    }
+
+    #[test]
+    fn down_to_zero_contains_zero() {
+        let b = Bracket::down_to_zero(Ring::R3);
+        assert!(b.contains(Ring::R0));
+        assert!(b.contains(Ring::R3));
+        assert!(!b.contains(Ring::R4));
+    }
+}

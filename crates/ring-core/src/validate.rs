@@ -1,0 +1,233 @@
+//! Hardware access-validation predicates — Figs. 4, 6 and 7 of the paper.
+//!
+//! These are the pure decision functions the processor applies at each
+//! virtual-memory reference, factored out of the instruction cycle so
+//! they can be tested exhaustively and diffed against the independent
+//! oracle in [`crate::oracle`].
+//!
+//! All functions take the already-retrieved SDW of the referenced
+//! segment, the two-part address being referenced, and the ring number
+//! the reference must be validated against (for operand references this
+//! is the *effective* ring `TPR.RING`; for instruction fetch it is the
+//! ring of execution).
+
+use crate::access::{AccessMode, Fault, Violation};
+use crate::addr::SegAddr;
+use crate::ring::Ring;
+use crate::sdw::Sdw;
+
+fn violation(mode: AccessMode, v: Violation, addr: SegAddr, ring: Ring) -> Fault {
+    Fault::AccessViolation {
+        mode,
+        violation: v,
+        addr,
+        ring,
+    }
+}
+
+/// Fig. 4 — validates retrieval of the next instruction from `addr` with
+/// the ring of execution `ring`.
+///
+/// The segment must be present, the word in bounds, the execute flag on,
+/// and the ring of execution within the execute bracket `[R1, R2]`.
+pub fn check_fetch(sdw: &Sdw, addr: SegAddr, ring: Ring) -> Result<(), Fault> {
+    sdw.check_present_and_bounds(AccessMode::Execute, addr)?;
+    if !sdw.execute {
+        return Err(violation(
+            AccessMode::Execute,
+            Violation::FlagOff,
+            addr,
+            ring,
+        ));
+    }
+    if !sdw.execute_bracket().contains(ring) {
+        return Err(violation(
+            AccessMode::Execute,
+            Violation::OutsideBracket,
+            addr,
+            ring,
+        ));
+    }
+    Ok(())
+}
+
+/// Fig. 6 (read half) — validates a read of `addr` at validation ring
+/// `ring` (normally `TPR.RING`).
+///
+/// Requires the read flag and `ring <= R2` (the read bracket). Also used
+/// for indirect-word retrieval during effective-address formation
+/// (Fig. 5: "the capability to read an indirect word ... must be
+/// validated before the indirect word is retrieved").
+pub fn check_read(sdw: &Sdw, addr: SegAddr, ring: Ring) -> Result<(), Fault> {
+    sdw.check_present_and_bounds(AccessMode::Read, addr)?;
+    if !sdw.read {
+        return Err(violation(AccessMode::Read, Violation::FlagOff, addr, ring));
+    }
+    if !sdw.read_bracket().contains(ring) {
+        return Err(violation(
+            AccessMode::Read,
+            Violation::OutsideBracket,
+            addr,
+            ring,
+        ));
+    }
+    Ok(())
+}
+
+/// Fig. 6 (write half) — validates a write of `addr` at validation ring
+/// `ring` (normally `TPR.RING`).
+///
+/// Requires the write flag and `ring <= R1` (the write bracket).
+pub fn check_write(sdw: &Sdw, addr: SegAddr, ring: Ring) -> Result<(), Fault> {
+    sdw.check_present_and_bounds(AccessMode::Write, addr)?;
+    if !sdw.write {
+        return Err(violation(AccessMode::Write, Violation::FlagOff, addr, ring));
+    }
+    if !sdw.write_bracket().contains(ring) {
+        return Err(violation(
+            AccessMode::Write,
+            Violation::OutsideBracket,
+            addr,
+            ring,
+        ));
+    }
+    Ok(())
+}
+
+/// Fig. 7 — the advance check performed by ordinary transfer
+/// instructions (every transfer except CALL and RETURN).
+///
+/// A transfer does not reference its operand, so no validation is
+/// strictly required; the advance check catches — at the transfer, while
+/// the offending instruction can still be identified — the access
+/// violation that reloading `IPR` from `TPR` would produce at the next
+/// instruction fetch. Ordinary transfers cannot change the ring of
+/// execution, so the check applied is the Fig. 4 fetch check at the
+/// *effective* ring (which is `>= IPR.RING`; if they differ the
+/// subsequent real fetch at `IPR.RING` re-validates).
+pub fn check_transfer(sdw: &Sdw, addr: SegAddr, effective_ring: Ring) -> Result<(), Fault> {
+    check_fetch(sdw, addr, effective_ring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdw::SdwBuilder;
+
+    fn addr() -> SegAddr {
+        SegAddr::from_parts(7, 3).unwrap()
+    }
+
+    fn assert_bracket_violation(r: Result<(), Fault>, mode: AccessMode) {
+        match r {
+            Err(Fault::AccessViolation {
+                violation: Violation::OutsideBracket,
+                mode: m,
+                ..
+            }) => assert_eq!(m, mode),
+            other => panic!("expected bracket violation, got {other:?}"),
+        }
+    }
+
+    fn assert_flag_violation(r: Result<(), Fault>, mode: AccessMode) {
+        match r {
+            Err(Fault::AccessViolation {
+                violation: Violation::FlagOff,
+                mode: m,
+                ..
+            }) => assert_eq!(m, mode),
+            other => panic!("expected flag violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_requires_execute_bracket() {
+        let sdw = SdwBuilder::procedure(Ring::R2, Ring::R4, Ring::R4).build();
+        assert!(check_fetch(&sdw, addr(), Ring::R2).is_ok());
+        assert!(check_fetch(&sdw, addr(), Ring::R3).is_ok());
+        assert!(check_fetch(&sdw, addr(), Ring::R4).is_ok());
+        // Below the bracket bottom: the "accidental execution in a lower
+        // ring than intended" case the paper's lower limit prevents.
+        assert_bracket_violation(check_fetch(&sdw, addr(), Ring::R1), AccessMode::Execute);
+        assert_bracket_violation(check_fetch(&sdw, addr(), Ring::R5), AccessMode::Execute);
+    }
+
+    #[test]
+    fn fetch_requires_execute_flag() {
+        let sdw = SdwBuilder::data(Ring::R4, Ring::R4).build();
+        assert_flag_violation(check_fetch(&sdw, addr(), Ring::R4), AccessMode::Execute);
+    }
+
+    #[test]
+    fn read_bracket_is_zero_through_r2() {
+        let sdw = SdwBuilder::data(Ring::R2, Ring::R5).build();
+        for r in Ring::all() {
+            let res = check_read(&sdw, addr(), r);
+            if r <= Ring::R5 {
+                assert!(res.is_ok(), "ring {r} should read");
+            } else {
+                assert_bracket_violation(res, AccessMode::Read);
+            }
+        }
+    }
+
+    #[test]
+    fn write_bracket_is_zero_through_r1() {
+        let sdw = SdwBuilder::data(Ring::R2, Ring::R5).build();
+        for r in Ring::all() {
+            let res = check_write(&sdw, addr(), r);
+            if r <= Ring::R2 {
+                assert!(res.is_ok(), "ring {r} should write");
+            } else {
+                assert_bracket_violation(res, AccessMode::Write);
+            }
+        }
+    }
+
+    #[test]
+    fn flags_gate_every_mode() {
+        let sdw = SdwBuilder::new()
+            .rings(Ring::R7, Ring::R7, Ring::R7)
+            .build();
+        assert_flag_violation(check_read(&sdw, addr(), Ring::R0), AccessMode::Read);
+        assert_flag_violation(check_write(&sdw, addr(), Ring::R0), AccessMode::Write);
+        assert_flag_violation(check_fetch(&sdw, addr(), Ring::R7), AccessMode::Execute);
+    }
+
+    #[test]
+    fn missing_segment_faults_before_everything() {
+        let sdw = SdwBuilder::data(Ring::R7, Ring::R7).present(false).build();
+        for res in [
+            check_read(&sdw, addr(), Ring::R0),
+            check_write(&sdw, addr(), Ring::R0),
+            check_fetch(&sdw, addr(), Ring::R0),
+        ] {
+            assert!(matches!(res, Err(Fault::SegmentFault { .. })));
+        }
+    }
+
+    #[test]
+    fn bounds_fault_before_flags() {
+        // Even with all flags off, an out-of-bounds word reports bounds.
+        let sdw = SdwBuilder::new().bound(0).build();
+        let far = SegAddr::from_parts(7, 0o1000).unwrap();
+        assert!(matches!(
+            check_read(&sdw, far, Ring::R0),
+            Err(Fault::AccessViolation {
+                violation: Violation::OutOfBounds,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn transfer_check_matches_fetch_check() {
+        let sdw = SdwBuilder::procedure(Ring::R1, Ring::R4, Ring::R4).build();
+        for r in Ring::all() {
+            assert_eq!(
+                check_transfer(&sdw, addr(), r).is_ok(),
+                check_fetch(&sdw, addr(), r).is_ok()
+            );
+        }
+    }
+}

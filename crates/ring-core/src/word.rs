@@ -1,0 +1,232 @@
+//! 36-bit machine words and bit-field helpers.
+//!
+//! The simulated processor is a 36-bit word machine, following the
+//! Honeywell 645/6000-series machines that Multics ran on. Words are held
+//! in the low 36 bits of a `u64`; the high 28 bits are always zero for a
+//! well-formed word. Bit positions in this crate are numbered from the
+//! least-significant bit (bit 0) upward, which is the opposite of
+//! Honeywell's documentation order but far less error-prone in Rust.
+
+/// Number of significant bits in a machine word.
+pub const WORD_BITS: u32 = 36;
+
+/// Mask covering the 36 significant bits of a word.
+pub const WORD_MASK: u64 = (1 << WORD_BITS) - 1;
+
+/// A single 36-bit machine word.
+///
+/// The wrapper guarantees (by masking on construction) that the upper 28
+/// bits of the backing `u64` are zero, so equality and field extraction
+/// behave as they would on real 36-bit storage.
+///
+/// # Examples
+///
+/// ```
+/// use ring_core::word::Word;
+///
+/// let w = Word::new(0o777_777_777_777); // maximum 36-bit value
+/// assert_eq!(w.raw(), (1u64 << 36) - 1);
+/// assert_eq!(Word::new(1 << 36), Word::ZERO); // overflow bits discarded
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Word(u64);
+
+impl Word {
+    /// The all-zero word.
+    pub const ZERO: Word = Word(0);
+
+    /// Creates a word from the low 36 bits of `raw`, discarding the rest.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Word(raw & WORD_MASK)
+    }
+
+    /// Returns the word as a `u64` with the upper 28 bits zero.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Extracts `len` bits starting at bit `lo` (LSB-0 numbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field `[lo, lo + len)` does not fit in 36 bits or if
+    /// `len` is zero or greater than 36.
+    #[inline]
+    pub fn field(self, lo: u32, len: u32) -> u64 {
+        assert!(len >= 1 && lo + len <= WORD_BITS, "field out of range");
+        (self.0 >> lo) & ((1 << len) - 1)
+    }
+
+    /// Returns bit `bit` as a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 36`.
+    #[inline]
+    pub fn bit(self, bit: u32) -> bool {
+        assert!(bit < WORD_BITS, "bit out of range");
+        (self.0 >> bit) & 1 == 1
+    }
+
+    /// Returns a copy of the word with `len` bits at `lo` replaced by the
+    /// low `len` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field does not fit in 36 bits or if `value` does not
+    /// fit in `len` bits.
+    #[inline]
+    #[must_use]
+    pub fn with_field(self, lo: u32, len: u32, value: u64) -> Word {
+        assert!(len >= 1 && lo + len <= WORD_BITS, "field out of range");
+        let mask = (1u64 << len) - 1;
+        assert!(value <= mask, "field value does not fit");
+        Word((self.0 & !(mask << lo)) | (value << lo))
+    }
+
+    /// Returns a copy of the word with bit `bit` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 36`.
+    #[inline]
+    #[must_use]
+    pub fn with_bit(self, bit: u32, value: bool) -> Word {
+        self.with_field(bit, 1, u64::from(value))
+    }
+
+    /// Interprets the word as a signed 36-bit two's-complement integer.
+    #[inline]
+    pub fn as_signed(self) -> i64 {
+        // Sign-extend from bit 35.
+        ((self.0 << (64 - WORD_BITS)) as i64) >> (64 - WORD_BITS)
+    }
+
+    /// Builds a word from a signed value, truncating to 36 bits.
+    #[inline]
+    pub fn from_signed(v: i64) -> Word {
+        Word::new(v as u64)
+    }
+
+    /// Wrapping 36-bit addition.
+    #[inline]
+    #[must_use]
+    pub fn wrapping_add(self, rhs: Word) -> Word {
+        Word::new(self.0.wrapping_add(rhs.0))
+    }
+
+    /// Wrapping 36-bit subtraction.
+    #[inline]
+    #[must_use]
+    pub fn wrapping_sub(self, rhs: Word) -> Word {
+        Word::new(self.0.wrapping_sub(rhs.0))
+    }
+
+    /// Wrapping 36-bit multiplication.
+    #[inline]
+    #[must_use]
+    pub fn wrapping_mul(self, rhs: Word) -> Word {
+        Word::new(self.0.wrapping_mul(rhs.0))
+    }
+
+    /// True if the word is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if the word is negative when read as two's complement.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.bit(WORD_BITS - 1)
+    }
+}
+
+impl core::fmt::Debug for Word {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Word({:0>12o})", self.0)
+    }
+}
+
+impl core::fmt::Octal for Word {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Word {
+    fn from(raw: u64) -> Self {
+        Word::new(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_masks_to_36_bits() {
+        assert_eq!(Word::new(u64::MAX).raw(), WORD_MASK);
+        assert_eq!(Word::new(0).raw(), 0);
+        assert_eq!(Word::new(1 << 35).raw(), 1 << 35);
+        assert_eq!(Word::new(1 << 36).raw(), 0);
+    }
+
+    #[test]
+    fn field_extraction_and_deposit_round_trip() {
+        let w = Word::ZERO.with_field(3, 5, 0b10110);
+        assert_eq!(w.field(3, 5), 0b10110);
+        assert_eq!(w.field(0, 3), 0);
+        assert_eq!(w.field(8, 4), 0);
+    }
+
+    #[test]
+    fn with_field_preserves_other_bits() {
+        let w = Word::new(WORD_MASK).with_field(10, 6, 0);
+        assert_eq!(w.field(10, 6), 0);
+        assert_eq!(w.field(0, 10), (1 << 10) - 1);
+        assert_eq!(w.field(16, 20), (1 << 20) - 1);
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let w = Word::ZERO.with_bit(35, true);
+        assert!(w.bit(35));
+        assert!(!w.bit(34));
+        assert!(w.is_negative());
+        assert!(!w.with_bit(35, false).is_negative());
+    }
+
+    #[test]
+    #[should_panic(expected = "field out of range")]
+    fn field_past_word_end_panics() {
+        Word::ZERO.field(30, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "field value does not fit")]
+    fn oversized_field_value_panics() {
+        let _ = Word::ZERO.with_field(0, 3, 8);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(Word::new(WORD_MASK).as_signed(), -1);
+        assert_eq!(Word::from_signed(-1).raw(), WORD_MASK);
+        assert_eq!(Word::from_signed(-5).as_signed(), -5);
+        assert_eq!(Word::new(17).as_signed(), 17);
+        let min = -(1i64 << 35);
+        assert_eq!(Word::from_signed(min).as_signed(), min);
+    }
+
+    #[test]
+    fn wrapping_arithmetic_stays_in_36_bits() {
+        let max = Word::new(WORD_MASK);
+        assert_eq!(max.wrapping_add(Word::new(1)), Word::ZERO);
+        assert_eq!(Word::ZERO.wrapping_sub(Word::new(1)), max);
+        let big = Word::new(1 << 20);
+        assert_eq!(big.wrapping_mul(big), Word::new(1 << 40 & WORD_MASK));
+    }
+}

@@ -1,0 +1,355 @@
+//! Instruction performance: operand access validation (Figs. 6 and 7)
+//! and the ALU/transfer semantics.
+
+use ring_core::access::{AccessMode, Fault, Violation};
+use ring_core::addr::{SegAddr, SegNo};
+use ring_core::registers::{Dbr, PtrReg};
+use ring_core::ring::Ring;
+use ring_core::validate;
+use ring_core::word::Word;
+
+use crate::ea::EffAddr;
+use crate::isa::{Instr, Opcode, OperandUse};
+use crate::machine::Machine;
+
+impl Machine {
+    /// Performs `instr`, fetched from segment `iseg`.
+    pub(crate) fn exec_instr(&mut self, instr: Instr, iseg: SegNo) -> Result<(), Fault> {
+        // Privileged instructions execute only in ring 0 (and, under
+        // the optional hardening, only from privileged segments).
+        if instr.opcode.privileged() {
+            if self.ipr.ring != Ring::R0 {
+                return Err(Fault::PrivilegedViolation {
+                    ring: self.ipr.ring,
+                });
+            }
+            if self.config.require_privileged_segments {
+                let sdw = self.sdw_for(
+                    SegAddr::new(iseg, ring_core::addr::WordNo::ZERO),
+                    AccessMode::Execute,
+                )?;
+                if !sdw.privileged {
+                    return Err(Fault::PrivilegedViolation {
+                        ring: self.ipr.ring,
+                    });
+                }
+            }
+        }
+
+        // The privileged read-class instructions have two-word operands
+        // and machine-level side effects; handle them apart.
+        if matches!(instr.opcode, Opcode::Ldbr | Opcode::Sio | Opcode::Ldt) {
+            return self.exec_privileged_read(instr, iseg);
+        }
+
+        match instr.opcode.operand_use() {
+            OperandUse::None => self.exec_no_operand(instr),
+            OperandUse::Read => {
+                let ea = self.form_ea(&instr, iseg)?;
+                let value = self.operand_read(&ea)?;
+                self.exec_read_op(instr, value)
+            }
+            OperandUse::Write => {
+                let ea = self.form_ea(&instr, iseg)?;
+                let value = self.write_value(instr);
+                self.operand_write(&ea, value)
+            }
+            OperandUse::ReadWrite => {
+                // AOS: both the read and the write capability are
+                // required at the effective ring.
+                let ea = self.form_ea(&instr, iseg)?;
+                if ea.immediate.is_some() {
+                    return Err(Fault::IllegalModifier);
+                }
+                let (sdw, addr, ring) = self.memory_ea(&ea)?;
+                validate::check_read(&sdw, addr, ring)?;
+                validate::check_write(&sdw, addr, ring)?;
+                let abs = self.tr.resolve(&mut self.phys, &sdw, addr, true)?;
+                let v = self.phys.read(abs)?.wrapping_add(Word::new(1));
+                self.phys.write(abs, v)?;
+                self.set_indicators(v);
+                Ok(())
+            }
+            OperandUse::Pointer => {
+                // EAP: no operand reference, no validation; the only way
+                // to load a pointer register. Immediate mode is
+                // meaningless here.
+                let ea = self.form_ea(&instr, iseg)?;
+                if ea.immediate.is_some() {
+                    return Err(Fault::IllegalModifier);
+                }
+                self.prs[instr.xreg as usize] = PtrReg::new(ea.tpr.ring, ea.tpr.addr);
+                Ok(())
+            }
+            OperandUse::WritePair => {
+                let ea = self.form_ea(&instr, iseg)?;
+                if ea.immediate.is_some() {
+                    return Err(Fault::IllegalModifier);
+                }
+                let (sdw, addr, ring) = self.memory_ea(&ea)?;
+                validate::check_write(&sdw, addr, ring)?;
+                let second = SegAddr::new(addr.segno, addr.wordno.wrapping_add(1));
+                if !sdw.in_bounds(second.wordno) {
+                    return Err(Fault::AccessViolation {
+                        mode: AccessMode::Write,
+                        violation: Violation::OutOfBounds,
+                        addr: second,
+                        ring,
+                    });
+                }
+                let (w0, w1) =
+                    ring_core::registers::IndWord::from_ptr(self.prs[instr.xreg as usize]).pack();
+                let abs0 = self.tr.resolve(&mut self.phys, &sdw, addr, true)?;
+                let abs1 = self.tr.resolve(&mut self.phys, &sdw, second, true)?;
+                self.phys.write(abs0, w0)?;
+                self.phys.write(abs1, w1)
+            }
+            OperandUse::Transfer => {
+                let ea = self.form_ea(&instr, iseg)?;
+                if ea.immediate.is_some() {
+                    return Err(Fault::IllegalModifier);
+                }
+                if self.transfer_taken(instr.opcode) {
+                    let (sdw, addr, ring) = self.memory_ea(&ea)?;
+                    validate::check_transfer(&sdw, addr, ring)?;
+                    // Ordinary transfers cannot change the ring.
+                    self.ipr.addr = addr;
+                }
+                Ok(())
+            }
+            OperandUse::Call => {
+                let ea = self.form_ea(&instr, iseg)?;
+                if ea.immediate.is_some() {
+                    return Err(Fault::IllegalModifier);
+                }
+                self.exec_call(ea.tpr, iseg)
+            }
+            OperandUse::Return => {
+                let ea = self.form_ea(&instr, iseg)?;
+                if ea.immediate.is_some() {
+                    return Err(Fault::IllegalModifier);
+                }
+                self.exec_return(ea.tpr)
+            }
+            OperandUse::AddressOnly => {
+                let ea = self.form_ea(&instr, iseg)?;
+                let count = u64::from(ea.tpr.addr.wordno.value());
+                match instr.opcode {
+                    Opcode::Eaa => {
+                        let v = Word::new(count);
+                        self.a = v;
+                        self.set_indicators(v);
+                    }
+                    Opcode::Als => {
+                        let v = Word::new(self.a.raw() << (count & 63));
+                        self.a = v;
+                        self.set_indicators(v);
+                    }
+                    Opcode::Ars => {
+                        let v = Word::new(self.a.raw() >> (count & 63));
+                        self.a = v;
+                        self.set_indicators(v);
+                    }
+                    _ => unreachable!("address-only group"),
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolves a (non-immediate) effective address to its SDW and
+    /// validation ring.
+    fn memory_ea(&mut self, ea: &EffAddr) -> Result<(ring_core::sdw::Sdw, SegAddr, Ring), Fault> {
+        debug_assert!(ea.immediate.is_none());
+        let mode = AccessMode::Read; // only used for NoSuchSegment reporting
+        let sdw = self.sdw_for(ea.tpr.addr, mode)?;
+        Ok((sdw, ea.tpr.addr, ea.tpr.ring))
+    }
+
+    /// Reads the operand for a Read-class instruction (Fig. 6, read).
+    fn operand_read(&mut self, ea: &EffAddr) -> Result<Word, Fault> {
+        if let Some(lit) = ea.immediate {
+            return Ok(lit);
+        }
+        let (sdw, addr, ring) = self.memory_ea(ea)?;
+        validate::check_read(&sdw, addr, ring)?;
+        let abs = self.tr.resolve(&mut self.phys, &sdw, addr, false)?;
+        self.phys.read(abs)
+    }
+
+    /// Writes the operand for a Write-class instruction (Fig. 6, write).
+    fn operand_write(&mut self, ea: &EffAddr, value: Word) -> Result<(), Fault> {
+        if ea.immediate.is_some() {
+            return Err(Fault::IllegalModifier);
+        }
+        let (sdw, addr, ring) = self.memory_ea(ea)?;
+        validate::check_write(&sdw, addr, ring)?;
+        let abs = self.tr.resolve(&mut self.phys, &sdw, addr, true)?;
+        self.phys.write(abs, value)
+    }
+
+    fn write_value(&self, instr: Instr) -> Word {
+        match instr.opcode {
+            Opcode::Sta => self.a,
+            Opcode::Stq => self.q,
+            Opcode::Stx => Word::new(u64::from(self.x[instr.xreg as usize])),
+            Opcode::Stz => Word::ZERO,
+            _ => unreachable!("write group"),
+        }
+    }
+
+    fn transfer_taken(&self, op: Opcode) -> bool {
+        match op {
+            Opcode::Tra => true,
+            Opcode::Tze => self.ind_zero,
+            Opcode::Tnz => !self.ind_zero,
+            Opcode::Tmi => self.ind_neg,
+            Opcode::Tpl => !self.ind_neg,
+            _ => unreachable!("transfer group"),
+        }
+    }
+
+    fn exec_read_op(&mut self, instr: Instr, operand: Word) -> Result<(), Fault> {
+        match instr.opcode {
+            Opcode::Lda => {
+                self.a = operand;
+                self.set_indicators(operand);
+            }
+            Opcode::Ldq => {
+                self.q = operand;
+            }
+            Opcode::Ldx => {
+                self.x[instr.xreg as usize] = (operand.raw() as u32) & ring_core::addr::MAX_WORDNO;
+            }
+            Opcode::Ada => {
+                let v = self.a.wrapping_add(operand);
+                self.a = v;
+                self.set_indicators(v);
+            }
+            Opcode::Sba => {
+                let v = self.a.wrapping_sub(operand);
+                self.a = v;
+                self.set_indicators(v);
+            }
+            Opcode::Mpy => {
+                let v = self.a.wrapping_mul(operand);
+                self.a = v;
+                self.set_indicators(v);
+            }
+            Opcode::Ana => {
+                let v = Word::new(self.a.raw() & operand.raw());
+                self.a = v;
+                self.set_indicators(v);
+            }
+            Opcode::Ora => {
+                let v = Word::new(self.a.raw() | operand.raw());
+                self.a = v;
+                self.set_indicators(v);
+            }
+            Opcode::Era => {
+                let v = Word::new(self.a.raw() ^ operand.raw());
+                self.a = v;
+                self.set_indicators(v);
+            }
+            Opcode::Cmpa => {
+                let v = self.a.wrapping_sub(operand);
+                self.set_indicators(v);
+            }
+            Opcode::Adq => {
+                self.q = self.q.wrapping_add(operand);
+            }
+            Opcode::Sbq => {
+                self.q = self.q.wrapping_sub(operand);
+            }
+            _ => unreachable!("read group"),
+        }
+        Ok(())
+    }
+
+    fn exec_no_operand(&mut self, instr: Instr) -> Result<(), Fault> {
+        match instr.opcode {
+            Opcode::Nop => Ok(()),
+            Opcode::Neg => {
+                let v = Word::from_signed(-self.a.as_signed());
+                self.a = v;
+                self.set_indicators(v);
+                Ok(())
+            }
+            Opcode::Drl => Err(Fault::Derail { code: instr.offset }),
+            Opcode::Rett => self.exec_rett(),
+            Opcode::Halt => {
+                self.halted = true;
+                Ok(())
+            }
+            _ => unreachable!("no-operand group"),
+        }
+    }
+}
+
+/// The privileged read-class instructions (LDBR, SIO, LDT) need special
+/// operand handling (two-word reads, side effects); they are intercepted
+/// before the generic read path.
+impl Machine {
+    pub(crate) fn exec_privileged_read(&mut self, instr: Instr, iseg: SegNo) -> Result<(), Fault> {
+        let ea = self.form_ea(&instr, iseg)?;
+        match instr.opcode {
+            Opcode::Ldt => {
+                let v = self.operand_read_pub(&ea)?;
+                self.timer = Some(v.raw());
+                Ok(())
+            }
+            Opcode::Ldbr => {
+                let (sdw, addr, ring) = self.memory_ea_pub(&ea)?;
+                validate::check_read(&sdw, addr, ring)?;
+                let second = SegAddr::new(addr.segno, addr.wordno.wrapping_add(1));
+                if !sdw.in_bounds(second.wordno) {
+                    return Err(Fault::AccessViolation {
+                        mode: AccessMode::Read,
+                        violation: Violation::OutOfBounds,
+                        addr: second,
+                        ring,
+                    });
+                }
+                let abs0 = self.tr.resolve(&mut self.phys, &sdw, addr, false)?;
+                let abs1 = self.tr.resolve(&mut self.phys, &sdw, second, false)?;
+                let w0 = self.phys.read(abs0)?;
+                let w1 = self.phys.read(abs1)?;
+                self.dbr = Dbr::unpack(w0, w1);
+                self.tr.flush_cache();
+                self.charge(self.config.costs.dbr_load);
+                Ok(())
+            }
+            Opcode::Sio => {
+                let (sdw, addr, ring) = self.memory_ea_pub(&ea)?;
+                validate::check_read(&sdw, addr, ring)?;
+                let second = SegAddr::new(addr.segno, addr.wordno.wrapping_add(1));
+                if !sdw.in_bounds(second.wordno) {
+                    return Err(Fault::AccessViolation {
+                        mode: AccessMode::Read,
+                        violation: Violation::OutOfBounds,
+                        addr: second,
+                        ring,
+                    });
+                }
+                let abs0 = self.tr.resolve(&mut self.phys, &sdw, addr, false)?;
+                let abs1 = self.tr.resolve(&mut self.phys, &sdw, second, false)?;
+                let w0 = self.phys.read(abs0)?;
+                let w1 = self.phys.read(abs1)?;
+                let now = self.cycles;
+                self.io.start(w0, w1, now)
+            }
+            _ => unreachable!("privileged read group"),
+        }
+    }
+
+    fn operand_read_pub(&mut self, ea: &EffAddr) -> Result<Word, Fault> {
+        self.operand_read(ea)
+    }
+
+    fn memory_ea_pub(
+        &mut self,
+        ea: &EffAddr,
+    ) -> Result<(ring_core::sdw::Sdw, SegAddr, Ring), Fault> {
+        self.memory_ea(ea)
+    }
+}

@@ -1,0 +1,275 @@
+//! I/O channels and devices.
+//!
+//! The privileged SIO instruction connects a channel to a two-word
+//! channel program: word 0 carries the absolute buffer address, the
+//! direction, and the channel number; word 1 the word count. The
+//! channel then transfers data between physical memory and its device
+//! asynchronously — by absolute address, bypassing segmentation, which
+//! is exactly why SIO must be privileged — and raises an I/O-completion
+//! trap when done.
+//!
+//! One device type is modelled: a typewriter (terminal) holding a word
+//! queue in each direction, enough to reproduce the paper's typewriter
+//! I/O package example (experiment T4).
+//!
+//! # Channel program layout
+//!
+//! ```text
+//! word 0: ABS[0..24]  DIR[24] (0 = memory→device, 1 = device→memory)
+//!         CHANNEL[25..28]
+//! word 1: COUNT[0..18]
+//! ```
+
+use std::collections::VecDeque;
+
+use ring_core::access::Fault;
+use ring_core::addr::AbsAddr;
+use ring_core::word::Word;
+use ring_segmem::phys::PhysMem;
+
+/// Number of I/O channels.
+pub const NUM_CHANNELS: usize = 8;
+
+/// Simulated channel word-transfer time, in cycles per word.
+pub const CYCLES_PER_WORD: u64 = 2;
+
+/// Fixed channel start-up latency in cycles.
+pub const CHANNEL_LATENCY: u64 = 8;
+
+/// Direction of a channel transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Memory to device (output).
+    Output,
+    /// Device to memory (input).
+    Input,
+}
+
+#[derive(Clone, Debug)]
+struct Operation {
+    abs: AbsAddr,
+    count: u32,
+    direction: Direction,
+    done_at: u64,
+}
+
+/// A typewriter-like device: word queues in both directions.
+#[derive(Clone, Debug, Default)]
+pub struct TtyDevice {
+    /// Words the channel has delivered to the device (printed output).
+    pub output: Vec<Word>,
+    /// Words queued for the program to read (keyboard input).
+    pub input: VecDeque<Word>,
+}
+
+impl TtyDevice {
+    /// Queues the bytes of `s` as one word per character (low 9 bits).
+    pub fn type_line(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.input.push_back(Word::new(u64::from(b)));
+        }
+    }
+
+    /// Renders the printed output as a string (low 8 bits per word).
+    pub fn printed(&self) -> String {
+        self.output
+            .iter()
+            .map(|w| (w.raw() & 0xff) as u8 as char)
+            .collect()
+    }
+}
+
+/// The I/O subsystem: channels plus their devices.
+#[derive(Clone, Debug)]
+pub struct IoSystem {
+    devices: Vec<TtyDevice>,
+    inflight: Vec<Option<Operation>>,
+}
+
+impl IoSystem {
+    /// A system with [`NUM_CHANNELS`] idle channels.
+    pub fn new() -> IoSystem {
+        IoSystem {
+            devices: (0..NUM_CHANNELS).map(|_| TtyDevice::default()).collect(),
+            inflight: vec![None; NUM_CHANNELS],
+        }
+    }
+
+    /// The device on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel >= NUM_CHANNELS`.
+    pub fn device(&self, channel: usize) -> &TtyDevice {
+        &self.devices[channel]
+    }
+
+    /// Mutable access to the device on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel >= NUM_CHANNELS`.
+    pub fn device_mut(&mut self, channel: usize) -> &mut TtyDevice {
+        &mut self.devices[channel]
+    }
+
+    /// True if `channel` has a transfer in flight.
+    pub fn busy(&self, channel: usize) -> bool {
+        self.inflight[channel].is_some()
+    }
+
+    /// Starts a channel from the two SIO operand words at simulated
+    /// time `now`. A connect to a busy channel is refused with a derail
+    /// fault (code 0o77), standing in for the hardware's channel-busy
+    /// indicator.
+    pub(crate) fn start(&mut self, w0: Word, w1: Word, now: u64) -> Result<(), Fault> {
+        let abs = AbsAddr::from_bits(w0.field(0, 24));
+        let direction = if w0.bit(24) {
+            Direction::Input
+        } else {
+            Direction::Output
+        };
+        let channel = w0.field(25, 3) as usize;
+        let count = w1.field(0, 18) as u32;
+        if self.inflight[channel].is_some() {
+            return Err(Fault::Derail { code: 0o77 });
+        }
+        let done_at = now + CHANNEL_LATENCY + u64::from(count) * CYCLES_PER_WORD;
+        self.inflight[channel] = Some(Operation {
+            abs,
+            count,
+            direction,
+            done_at,
+        });
+        Ok(())
+    }
+
+    /// If a channel has completed by time `now`, performs its transfer
+    /// against `phys` and returns the channel number (the machine then
+    /// raises the I/O-completion trap). At most one completion is
+    /// delivered per call.
+    pub(crate) fn take_completion(&mut self, now: u64, phys: &mut PhysMem) -> Option<u8> {
+        let idx = self
+            .inflight
+            .iter()
+            .position(|op| matches!(op, Some(o) if o.done_at <= now))?;
+        let op = self.inflight[idx].take().expect("checked above");
+        let dev = &mut self.devices[idx];
+        match op.direction {
+            Direction::Output => {
+                for i in 0..op.count {
+                    let w = phys.read(op.abs.wrapping_add(i)).unwrap_or(Word::ZERO);
+                    dev.output.push(w);
+                }
+            }
+            Direction::Input => {
+                for i in 0..op.count {
+                    let w = dev.input.pop_front().unwrap_or(Word::ZERO);
+                    let _ = phys.write(op.abs.wrapping_add(i), w);
+                }
+            }
+        }
+        Some(idx as u8)
+    }
+
+    /// Builds the SIO operand pair for a transfer.
+    pub fn channel_program(
+        channel: u8,
+        direction: Direction,
+        abs: AbsAddr,
+        count: u32,
+    ) -> (Word, Word) {
+        let w0 = Word::ZERO
+            .with_field(0, 24, u64::from(abs.value()))
+            .with_bit(24, direction == Direction::Input)
+            .with_field(25, 3, u64::from(channel));
+        let w1 = Word::ZERO.with_field(0, 18, u64::from(count));
+        (w0, w1)
+    }
+}
+
+impl Default for IoSystem {
+    fn default() -> Self {
+        IoSystem::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_program_round_trip_fields() {
+        let (w0, w1) =
+            IoSystem::channel_program(3, Direction::Input, AbsAddr::new(0o1234).unwrap(), 17);
+        assert_eq!(w0.field(0, 24), 0o1234);
+        assert!(w0.bit(24));
+        assert_eq!(w0.field(25, 3), 3);
+        assert_eq!(w1.field(0, 18), 17);
+    }
+
+    #[test]
+    fn output_transfer_moves_memory_to_device() {
+        let mut io = IoSystem::new();
+        let mut phys = PhysMem::new(64);
+        for i in 0..4 {
+            phys.poke(
+                AbsAddr::new(i).unwrap(),
+                Word::new(u64::from(b'a' + i as u8)),
+            )
+            .unwrap();
+        }
+        let (w0, w1) = IoSystem::channel_program(1, Direction::Output, AbsAddr::new(0).unwrap(), 4);
+        io.start(w0, w1, 0).unwrap();
+        assert!(io.busy(1));
+        // Not yet complete.
+        assert_eq!(io.take_completion(0, &mut phys), None);
+        let done = CHANNEL_LATENCY + 4 * CYCLES_PER_WORD;
+        assert_eq!(io.take_completion(done, &mut phys), Some(1));
+        assert!(!io.busy(1));
+        assert_eq!(io.device(1).printed(), "abcd");
+    }
+
+    #[test]
+    fn input_transfer_moves_device_to_memory() {
+        let mut io = IoSystem::new();
+        let mut phys = PhysMem::new(64);
+        io.device_mut(2).type_line("hi");
+        let (w0, w1) = IoSystem::channel_program(2, Direction::Input, AbsAddr::new(8).unwrap(), 2);
+        io.start(w0, w1, 100).unwrap();
+        let done = 100 + CHANNEL_LATENCY + 2 * CYCLES_PER_WORD;
+        assert_eq!(io.take_completion(done, &mut phys), Some(2));
+        assert_eq!(
+            phys.peek(AbsAddr::new(8).unwrap()).unwrap().raw(),
+            u64::from(b'h')
+        );
+        assert_eq!(
+            phys.peek(AbsAddr::new(9).unwrap()).unwrap().raw(),
+            u64::from(b'i')
+        );
+    }
+
+    #[test]
+    fn busy_channel_refuses_connect() {
+        let mut io = IoSystem::new();
+        let (w0, w1) = IoSystem::channel_program(0, Direction::Output, AbsAddr::new(0).unwrap(), 1);
+        io.start(w0, w1, 0).unwrap();
+        assert!(matches!(
+            io.start(w0, w1, 0),
+            Err(Fault::Derail { code: 0o77 })
+        ));
+    }
+
+    #[test]
+    fn input_underrun_pads_with_zeros() {
+        let mut io = IoSystem::new();
+        let mut phys = PhysMem::new(16);
+        phys.poke(AbsAddr::new(0).unwrap(), Word::new(0o777))
+            .unwrap();
+        let (w0, w1) = IoSystem::channel_program(0, Direction::Input, AbsAddr::new(0).unwrap(), 1);
+        io.start(w0, w1, 0).unwrap();
+        let done = CHANNEL_LATENCY + CYCLES_PER_WORD;
+        io.take_completion(done, &mut phys).unwrap();
+        assert_eq!(phys.peek(AbsAddr::new(0).unwrap()).unwrap(), Word::ZERO);
+    }
+}

@@ -1,0 +1,702 @@
+//! The processor: registers, configuration, cycle accounting, and the
+//! instruction-cycle driver.
+//!
+//! The instruction cycle follows the paper's narrative exactly:
+//! instruction retrieval with the Fig. 4 validation (`fetch` phase,
+//! here), effective-address formation per Fig. 5 ([`crate::ea`]),
+//! operand access or transfer per Figs. 6–7 ([`crate::exec`]), and the
+//! CALL/RETURN ring switching of Figs. 8–9 ([`crate::callret`]). Traps
+//! force ring 0 ([`crate::trap`]).
+//!
+//! # Cycle model
+//!
+//! Simulated time is counted in "cycles": one cycle per physical-memory
+//! reference (so descriptor walks, page-table walks, indirect-word
+//! fetches and operand references all cost what they touch), plus a
+//! per-instruction base cost, plus fixed overheads for traps and DBR
+//! loads. The SDW associative memory absorbs descriptor-walk references
+//! on hits, exactly the effect it has in hardware.
+
+use ring_core::access::Fault;
+use ring_core::addr::{SegAddr, SegNo, WordNo, MAX_WORDNO};
+use ring_core::callret::StackRule;
+use ring_core::effective::EffectiveRingRules;
+use ring_core::registers::{Dbr, Ipr, PtrReg, NUM_PR};
+use ring_core::ring::Ring;
+use ring_core::sdw::Sdw;
+use ring_core::validate;
+use ring_core::word::Word;
+use ring_segmem::phys::PhysMem;
+use ring_segmem::translate::Translator;
+
+use crate::io::IoSystem;
+use crate::isa::Instr;
+use crate::native::{NativeAction, NativeRegistry};
+use crate::trace::{Trace, TraceEvent};
+use crate::trap::SavedState;
+
+/// Fixed cycle costs beyond counted memory references.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Base cost of every instruction (decode + ALU).
+    pub base_instruction: u64,
+    /// Overhead of a trap: forcing ring 0, state save sequencing
+    /// (the save-area stores are counted as memory references on top).
+    pub trap_overhead: u64,
+    /// Overhead of loading the DBR (beyond the associative-memory
+    /// flush, whose cost shows up as subsequent misses).
+    pub dbr_load: u64,
+    /// Overhead of restoring processor state (RETT), beyond the
+    /// save-area reads.
+    pub rett_overhead: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            base_instruction: 1,
+            trap_overhead: 12,
+            dbr_load: 5,
+            rett_overhead: 6,
+        }
+    }
+}
+
+/// Static machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Stack-segment selection rule used by CALL (Fig. 8 + footnote).
+    pub stack_rule: StackRule,
+    /// Effective-ring formation rules (full paper design by default;
+    /// weakened variants for the T6 ablation).
+    pub ea_rules: EffectiveRingRules,
+    /// Maximum indirect-word chain length before faulting.
+    pub indirect_limit: u32,
+    /// SDW associative-memory capacity.
+    pub sdw_cache: usize,
+    /// Segment containing the trap vectors and save area (must be a
+    /// present, unpaged ring-0 segment).
+    pub trap_segno: SegNo,
+    /// Word number of trap vector 0 within the trap segment.
+    pub trap_vector_base: u32,
+    /// Word number of the processor state save area within the trap
+    /// segment.
+    pub trap_save_offset: u32,
+    /// Which pointer register is the stack pointer by software
+    /// convention (Multics used PR6).
+    pub sp_pr: u8,
+    /// Hardening beyond the paper (the eventual Multics 6180 adopted
+    /// it): privileged instructions additionally require the executing
+    /// segment's SDW privileged bit, not just ring 0. Off by default
+    /// (the paper restricts by ring alone).
+    pub require_privileged_segments: bool,
+    /// Fixed cycle costs.
+    pub costs: CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            stack_rule: StackRule::DbrBase,
+            ea_rules: EffectiveRingRules::PAPER,
+            indirect_limit: 16,
+            sdw_cache: ring_segmem::sdw_cache::SdwCache::DEFAULT_CAPACITY,
+            trap_segno: SegNo::from_bits(1),
+            trap_vector_base: 0,
+            trap_save_offset: 64,
+            sp_pr: 6,
+            require_privileged_segments: false,
+            costs: CostModel::default(),
+        }
+    }
+}
+
+/// Execution statistics maintained by the machine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecStats {
+    /// Instructions completed (including those that then trapped).
+    pub instructions: u64,
+    /// CALLs that stayed in the same ring.
+    pub calls_same_ring: u64,
+    /// CALLs that switched the ring downward in hardware.
+    pub calls_downward: u64,
+    /// RETURNs that stayed in the same ring.
+    pub returns_same_ring: u64,
+    /// RETURNs that switched the ring upward in hardware.
+    pub returns_upward: u64,
+    /// Traps taken, by any cause.
+    pub traps: u64,
+    /// Upward-call traps (software-assisted ring crossing).
+    pub upward_call_traps: u64,
+    /// Downward-return traps (software-assisted ring crossing).
+    pub downward_return_traps: u64,
+    /// Native-procedure invocations.
+    pub native_calls: u64,
+}
+
+/// Outcome of a single [`Machine::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction completed normally.
+    Ran,
+    /// A fault was detected and the processor trapped to ring 0.
+    Trapped(Fault),
+    /// The processor is halted.
+    Halted,
+}
+
+/// Why [`Machine::run`] stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunExit {
+    /// A HALT instruction was executed in ring 0.
+    Halted,
+    /// The instruction budget was exhausted.
+    BudgetExhausted,
+    /// A fault occurred while entering a trap (unrecoverable).
+    DoubleFault(Fault),
+}
+
+/// The simulated processor plus its memory system.
+///
+/// # Examples
+///
+/// Build a one-segment world with [`crate::testkit::World`], run a
+/// two-instruction program, and observe the registers:
+///
+/// ```
+/// use ring_core::ring::Ring;
+/// use ring_core::sdw::SdwBuilder;
+/// use ring_cpu::isa::{Instr, Opcode};
+/// use ring_cpu::machine::StepOutcome;
+/// use ring_cpu::testkit::World;
+///
+/// let mut w = World::new();
+/// let code = w.add_segment(
+///     10,
+///     SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+/// );
+/// w.poke_instr(code, 0, Instr::direct(Opcode::Lda, 40).immediate());
+/// w.poke_instr(code, 1, Instr::direct(Opcode::Ada, 2).immediate());
+/// w.start(Ring::R4, code, 0);
+/// assert_eq!(w.machine.step(), StepOutcome::Ran);
+/// assert_eq!(w.machine.step(), StepOutcome::Ran);
+/// assert_eq!(w.machine.a().raw(), 42);
+/// assert_eq!(w.machine.ring(), Ring::R4);
+/// ```
+pub struct Machine {
+    pub(crate) phys: PhysMem,
+    pub(crate) tr: Translator,
+    pub(crate) dbr: Dbr,
+    pub(crate) ipr: Ipr,
+    pub(crate) prs: [PtrReg; NUM_PR],
+    pub(crate) a: Word,
+    pub(crate) q: Word,
+    pub(crate) x: [u32; 8],
+    pub(crate) ind_zero: bool,
+    pub(crate) ind_neg: bool,
+    pub(crate) timer: Option<u64>,
+    pub(crate) cycles: u64,
+    pub(crate) config: MachineConfig,
+    pub(crate) in_trap: bool,
+    pub(crate) last_fault: Option<Fault>,
+    pub(crate) natives: NativeRegistry,
+    pub(crate) io: IoSystem,
+    pub(crate) halted: bool,
+    pub(crate) double_fault: Option<Fault>,
+    pub(crate) stats: ExecStats,
+    pub(crate) trace: Trace,
+    pub(crate) extra_cycles: u64,
+}
+
+impl Machine {
+    /// Creates a machine with `phys_words` of zeroed physical memory.
+    ///
+    /// The DBR starts empty (bound 0); world-building code installs a
+    /// descriptor segment and loads the DBR before execution starts.
+    pub fn new(phys_words: usize, config: MachineConfig) -> Machine {
+        Machine {
+            phys: PhysMem::new(phys_words),
+            tr: Translator::new(config.sdw_cache),
+            dbr: Dbr::new(ring_core::addr::AbsAddr::ZERO, 0, SegNo::from_bits(0)),
+            ipr: Ipr::new(Ring::R0, SegAddr::new(SegNo::from_bits(0), WordNo::ZERO)),
+            prs: [PtrReg::NULL; NUM_PR],
+            a: Word::ZERO,
+            q: Word::ZERO,
+            x: [0; 8],
+            ind_zero: true,
+            ind_neg: false,
+            timer: None,
+            cycles: 0,
+            config,
+            in_trap: false,
+            last_fault: None,
+            natives: NativeRegistry::new(),
+            io: IoSystem::new(),
+            halted: false,
+            double_fault: None,
+            stats: ExecStats::default(),
+            trace: Trace::disabled(),
+            extra_cycles: 0,
+        }
+    }
+
+    // ---- register and state access -------------------------------------
+
+    /// The accumulator.
+    pub fn a(&self) -> Word {
+        self.a
+    }
+
+    /// Sets the accumulator (native procedures / world building).
+    pub fn set_a(&mut self, v: Word) {
+        self.a = v;
+        self.set_indicators(v);
+    }
+
+    /// The Q register.
+    pub fn q(&self) -> Word {
+        self.q
+    }
+
+    /// Sets the Q register.
+    pub fn set_q(&mut self, v: Word) {
+        self.q = v;
+    }
+
+    /// Index register `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn xreg(&self, n: usize) -> u32 {
+        self.x[n]
+    }
+
+    /// Sets index register `n` (masked to 18 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn set_xreg(&mut self, n: usize, v: u32) {
+        self.x[n] = v & MAX_WORDNO;
+    }
+
+    /// Pointer register `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn pr(&self, n: usize) -> PtrReg {
+        self.prs[n]
+    }
+
+    /// Sets pointer register `n`, flooring its ring at the current ring
+    /// of execution so the hardware invariant `PRn.RING >= IPR.RING` is
+    /// preserved (this models a load performed by EAP, which inherits
+    /// the invariant from `TPR.RING`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn set_pr(&mut self, n: usize, pr: PtrReg) {
+        self.prs[n] = pr.with_ring_floor(self.ipr.ring);
+    }
+
+    /// The instruction pointer.
+    pub fn ipr(&self) -> Ipr {
+        self.ipr
+    }
+
+    /// Starts execution at `ipr` (world building / examples).
+    pub fn set_ipr(&mut self, ipr: Ipr) {
+        self.ipr = ipr;
+    }
+
+    /// The current ring of execution.
+    pub fn ring(&self) -> Ring {
+        self.ipr.ring
+    }
+
+    /// The descriptor base register.
+    pub fn dbr(&self) -> Dbr {
+        self.dbr
+    }
+
+    /// Loads the DBR directly (world building; running programs use the
+    /// privileged LDBR instruction). Flushes the SDW associative memory.
+    pub fn load_dbr(&mut self, dbr: Dbr) {
+        self.dbr = dbr;
+        self.tr.flush_cache();
+    }
+
+    /// Elapsed simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The most recent fault taken (cleared by RETT).
+    pub fn last_fault(&self) -> Option<Fault> {
+        self.last_fault
+    }
+
+    /// True once the processor has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Clears the halt condition (operator restart). Double faults are
+    /// not cleared — a machine that faulted while entering a trap needs
+    /// its world repaired, not a restart.
+    pub fn clear_halt(&mut self) {
+        if self.double_fault.is_none() {
+            self.halted = false;
+        }
+    }
+
+    /// Direct access to physical memory (world building and assertions;
+    /// bypasses translation and protection exactly like a front panel).
+    pub fn phys_mut(&mut self) -> &mut PhysMem {
+        &mut self.phys
+    }
+
+    /// Read-only access to physical memory.
+    pub fn phys(&self) -> &PhysMem {
+        &self.phys
+    }
+
+    /// The translation engine (SDW cache statistics, etc.).
+    pub fn translator(&self) -> &Translator {
+        &self.tr
+    }
+
+    /// Mutable access to the translation engine (world building).
+    pub fn translator_mut(&mut self) -> &mut Translator {
+        &mut self.tr
+    }
+
+    /// Sets the interval timer (world building; programs use LDT).
+    pub fn set_timer(&mut self, t: Option<u64>) {
+        self.timer = t;
+    }
+
+    /// Enables execution tracing with the given capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::enabled(capacity);
+    }
+
+    /// Drains and returns the trace events recorded so far.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
+    }
+
+    /// Charges extra simulated cycles (used by native procedures to
+    /// account for the work a compiled-code body would have done).
+    pub fn charge(&mut self, cycles: u64) {
+        self.extra_cycles += cycles;
+    }
+
+    /// The I/O system (device queues).
+    pub fn io_mut(&mut self) -> &mut IoSystem {
+        &mut self.io
+    }
+
+    /// Read-only access to the I/O system.
+    pub fn io(&self) -> &IoSystem {
+        &self.io
+    }
+
+    pub(crate) fn set_indicators(&mut self, v: Word) {
+        self.ind_zero = v.is_zero();
+        self.ind_neg = v.is_negative();
+    }
+
+    // ---- supervisor-level services (native ring-0 procedures) ----
+
+    /// Reads the SDW currently installed for `segno` (counted like the
+    /// hardware's descriptor walk; served from the associative memory
+    /// when possible).
+    pub fn segment_descriptor(&mut self, segno: SegNo) -> Result<Sdw, Fault> {
+        self.tr.fetch_sdw(
+            &mut self.phys,
+            &self.dbr,
+            SegAddr::new(segno, WordNo::ZERO),
+            ring_core::access::AccessMode::Read,
+        )
+    }
+
+    /// Writes `sdw` into the current descriptor segment for `segno` and
+    /// invalidates its associative-memory entry (so the change is
+    /// immediately effective). Refused outside ring 0: this is
+    /// supervisor work.
+    pub fn store_descriptor(&mut self, segno: SegNo, sdw: &Sdw) -> Result<(), Fault> {
+        if self.ipr.ring != Ring::R0 {
+            return Err(Fault::PrivilegedViolation {
+                ring: self.ipr.ring,
+            });
+        }
+        self.tr.store_sdw(&mut self.phys, &self.dbr, segno, sdw)
+    }
+
+    /// Starts an I/O channel from a two-word channel program — the
+    /// native-procedure equivalent of the privileged SIO instruction,
+    /// with the same ring-0 restriction.
+    pub fn start_io(&mut self, w0: Word, w1: Word) -> Result<(), Fault> {
+        if self.ipr.ring != Ring::R0 {
+            return Err(Fault::PrivilegedViolation {
+                ring: self.ipr.ring,
+            });
+        }
+        let now = self.cycles;
+        self.io.start(w0, w1, now)
+    }
+
+    // ---- validated memory access (the paths native procedures use) ----
+
+    /// Fetches the SDW for `addr.segno` (counted like hardware).
+    pub(crate) fn sdw_for(
+        &mut self,
+        addr: SegAddr,
+        mode: ring_core::access::AccessMode,
+    ) -> Result<Sdw, Fault> {
+        self.tr.fetch_sdw(&mut self.phys, &self.dbr, addr, mode)
+    }
+
+    /// Reads a word with full hardware validation at the effective ring
+    /// of `ptr` — exactly what an `LDA ptr|0` would do.
+    ///
+    /// Native procedures must use this (or the other `*_validated`
+    /// accessors) for every reference they make on behalf of a caller,
+    /// so that cross-ring argument references are validated exactly as
+    /// compiled code's references would be.
+    pub fn read_validated(&mut self, ptr: PtrReg) -> Result<Word, Fault> {
+        // The pointer's ring field is an effective validation level
+        // (TPR.RING so far) and is always honoured; the ablation rules
+        // govern only what gets folded in during chain traversal.
+        let ring = self.ipr.ring.least_privileged(ptr.ring);
+        let sdw = self.sdw_for(ptr.addr, ring_core::access::AccessMode::Read)?;
+        validate::check_read(&sdw, ptr.addr, ring)?;
+        let abs = self.tr.resolve(&mut self.phys, &sdw, ptr.addr, false)?;
+        self.phys.read(abs)
+    }
+
+    /// Writes a word with full hardware validation at the effective
+    /// ring of `ptr` — exactly what an `STA ptr|0` would do.
+    pub fn write_validated(&mut self, ptr: PtrReg, value: Word) -> Result<(), Fault> {
+        let ring = self.ipr.ring.least_privileged(ptr.ring);
+        let sdw = self.sdw_for(ptr.addr, ring_core::access::AccessMode::Write)?;
+        validate::check_write(&sdw, ptr.addr, ring)?;
+        let abs = self.tr.resolve(&mut self.phys, &sdw, ptr.addr, true)?;
+        self.phys.write(abs, value)
+    }
+
+    /// Retrieves the indirect-word pair at `ptr` — following any
+    /// further-indirection chain — and returns a pointer whose ring is
+    /// the folded effective ring (current ring, `ptr`'s ring, every
+    /// indirect word's ring, every containing segment's write-bracket
+    /// top): exactly the Fig. 5 treatment. This is how a native
+    /// procedure dereferences an argument-list entry safely.
+    pub fn read_pointer_validated(&mut self, ptr: PtrReg) -> Result<PtrReg, Fault> {
+        let mut ring = ring_core::effective::fold_pr(self.ipr.ring, ptr.ring, self.config.ea_rules);
+        let mut addr = ptr.addr;
+        let mut depth = 0u32;
+        loop {
+            depth += 1;
+            if depth > self.config.indirect_limit {
+                return Err(Fault::IndirectLimit);
+            }
+            let sdw = self.sdw_for(addr, ring_core::access::AccessMode::Read)?;
+            validate::check_read(&sdw, addr, ring)?;
+            let second = SegAddr::new(addr.segno, addr.wordno.wrapping_add(1));
+            if !sdw.in_bounds(second.wordno) {
+                return Err(Fault::AccessViolation {
+                    mode: ring_core::access::AccessMode::Read,
+                    violation: ring_core::access::Violation::OutOfBounds,
+                    addr: second,
+                    ring,
+                });
+            }
+            let abs0 = self.tr.resolve(&mut self.phys, &sdw, addr, false)?;
+            let abs1 = self.tr.resolve(&mut self.phys, &sdw, second, false)?;
+            let w0 = self.phys.read(abs0)?;
+            let w1 = self.phys.read(abs1)?;
+            let iw = ring_core::registers::IndWord::unpack(w0, w1);
+            ring = ring_core::effective::fold_indirect(ring, iw.ring, &sdw, self.config.ea_rules);
+            addr = iw.addr;
+            if !iw.indirect {
+                return Ok(PtrReg::new(ring, addr));
+            }
+        }
+    }
+
+    /// Stores `ptr` as an indirect-word pair at `at` with write
+    /// validation — what SPRI does.
+    pub fn write_pointer_validated(&mut self, at: PtrReg, ptr: PtrReg) -> Result<(), Fault> {
+        let ring = self.ipr.ring.least_privileged(at.ring);
+        let sdw = self.sdw_for(at.addr, ring_core::access::AccessMode::Write)?;
+        validate::check_write(&sdw, at.addr, ring)?;
+        let second = SegAddr::new(at.addr.segno, at.addr.wordno.wrapping_add(1));
+        if !sdw.in_bounds(second.wordno) {
+            return Err(Fault::AccessViolation {
+                mode: ring_core::access::AccessMode::Write,
+                violation: ring_core::access::Violation::OutOfBounds,
+                addr: second,
+                ring,
+            });
+        }
+        let (w0, w1) = ring_core::registers::IndWord::from_ptr(ptr).pack();
+        let abs0 = self.tr.resolve(&mut self.phys, &sdw, at.addr, true)?;
+        let abs1 = self.tr.resolve(&mut self.phys, &sdw, second, true)?;
+        self.phys.write(abs0, w0)?;
+        self.phys.write(abs1, w1)
+    }
+
+    /// Returns a pointer to the `n`-th argument given the argument-list
+    /// pointer `ap`: dereferences the indirect pair at `ap + 2n`. The
+    /// returned pointer carries the effective validation ring, so
+    /// subsequent [`Machine::read_validated`] / [`Machine::write_validated`]
+    /// through it are automatically validated "as though execution were
+    /// occurring in the (higher numbered) ring of the calling procedure".
+    pub fn arg_pointer(&mut self, ap: PtrReg, n: u32) -> Result<PtrReg, Fault> {
+        let slot = PtrReg::new(
+            ap.ring,
+            SegAddr::new(ap.addr.segno, ap.addr.wordno.wrapping_add(2 * n)),
+        );
+        self.read_pointer_validated(slot)
+    }
+
+    // ---- instruction cycle ---------------------------------------------
+
+    /// Executes one instruction (or takes one trap).
+    pub fn step(&mut self) -> StepOutcome {
+        if self.halted {
+            return StepOutcome::Halted;
+        }
+        // Asynchronous conditions are recognised between instructions,
+        // and held off while a trap is being serviced (the save area
+        // holds state the supervisor has not yet copied).
+        if !self.in_trap {
+            if let Some(f) = self.pending_async() {
+                return self.take_trap(self.snapshot(), f);
+            }
+        }
+        let snapshot = self.snapshot();
+        let refs_before = self.phys.ref_count();
+        self.extra_cycles = 0;
+        let result = self.execute_one();
+        self.stats.instructions += 1;
+        let spent = self.config.costs.base_instruction
+            + (self.phys.ref_count() - refs_before)
+            + self.extra_cycles;
+        self.cycles += spent;
+        if let Some(t) = self.timer.as_mut() {
+            *t = t.saturating_sub(spent);
+        }
+        match result {
+            Ok(()) => {
+                if self.halted {
+                    StepOutcome::Halted
+                } else {
+                    StepOutcome::Ran
+                }
+            }
+            Err(fault) => self.take_trap(snapshot, fault),
+        }
+    }
+
+    /// Runs until halt, a double fault, or `budget` instructions.
+    pub fn run(&mut self, budget: u64) -> RunExit {
+        for _ in 0..budget {
+            match self.step() {
+                StepOutcome::Halted => {
+                    return match self.double_fault {
+                        Some(f) => RunExit::DoubleFault(f),
+                        None => RunExit::Halted,
+                    }
+                }
+                StepOutcome::Ran | StepOutcome::Trapped(_) => {}
+            }
+        }
+        RunExit::BudgetExhausted
+    }
+
+    fn pending_async(&mut self) -> Option<Fault> {
+        if matches!(self.timer, Some(0)) {
+            self.timer = None;
+            return Some(Fault::TimerRunout);
+        }
+        if let Some(channel) = self.io.take_completion(self.cycles, &mut self.phys) {
+            return Some(Fault::IoCompletion { channel });
+        }
+        None
+    }
+
+    fn execute_one(&mut self) -> Result<(), Fault> {
+        // ---- Fig. 4: retrieve the next instruction ----
+        let iaddr = self.ipr.addr;
+        let isdw = self.sdw_for(iaddr, ring_core::access::AccessMode::Execute)?;
+        validate::check_fetch(&isdw, iaddr, self.ipr.ring)?;
+        if let Some(handler) = self.natives.handler(iaddr.segno) {
+            self.stats.native_calls += 1;
+            self.trace.push(|| TraceEvent::Native {
+                segno: iaddr.segno,
+                entry: iaddr.wordno,
+            });
+            let action = handler(self, iaddr.wordno)?;
+            return self.apply_native_action(action);
+        }
+        let abs = self.tr.resolve(&mut self.phys, &isdw, iaddr, false)?;
+        let iword = self.phys.read(abs)?;
+        let instr = Instr::decode(iword)?;
+        self.trace.push(|| TraceEvent::Instr {
+            at: self.ipr,
+            instr,
+        });
+        // The instruction counter advances before execution; transfers
+        // overwrite it.
+        self.ipr.addr = SegAddr::new(iaddr.segno, iaddr.wordno.wrapping_add(1));
+        self.exec_instr(instr, iaddr.segno)
+    }
+
+    fn apply_native_action(&mut self, action: NativeAction) -> Result<(), Fault> {
+        match action {
+            NativeAction::Return { via } => self.exec_return_via(via),
+            NativeAction::Resume => self.exec_rett(),
+            NativeAction::Halt => {
+                self.halted = true;
+                Ok(())
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> SavedState {
+        SavedState {
+            ipr: self.ipr,
+            prs: self.prs,
+            a: self.a,
+            q: self.q,
+            x: self.x,
+            ind_zero: self.ind_zero,
+            ind_neg: self.ind_neg,
+        }
+    }
+
+    pub(crate) fn restore(&mut self, s: &SavedState) {
+        self.ipr = s.ipr;
+        self.prs = s.prs;
+        self.a = s.a;
+        self.q = s.q;
+        self.x = s.x;
+        self.ind_zero = s.ind_zero;
+        self.ind_neg = s.ind_neg;
+    }
+}

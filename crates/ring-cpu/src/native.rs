@@ -1,0 +1,112 @@
+//! Native procedure segments.
+//!
+//! The Multics supervisor was written in a high-level language and
+//! compiled to machine code; simulating it instruction-by-instruction
+//! would add nothing to the reproduction of the *protection* hardware.
+//! Instead, a segment may be registered as **native**: when instruction
+//! fetch lands in it — and only after the ordinary Fig. 4/Fig. 8
+//! validation has allowed the transfer, so gates, brackets and the
+//! CALL/RETURN ring switching all apply unchanged — the simulator
+//! invokes a Rust handler with the entry word number.
+//!
+//! Handlers are required (by convention, enforced in review and by the
+//! argument-validation tests) to make every reference on behalf of
+//! their caller through the machine's validated accessors
+//! ([`crate::machine::Machine::read_validated`] and friends), which
+//! apply exactly the per-reference hardware checks compiled code would
+//! incur; and to account for their work with
+//! [`crate::machine::Machine::charge`].
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ring_core::access::Fault;
+use ring_core::addr::{SegNo, WordNo};
+use ring_core::registers::PtrReg;
+
+use crate::machine::Machine;
+
+/// What a native procedure asks the processor to do when it finishes.
+#[derive(Clone, Copy, Debug)]
+pub enum NativeAction {
+    /// Perform a hardware RETURN through `via` (normally the return
+    /// pointer the caller left in PR2): effective ring
+    /// `max(IPR.RING, via.RING)`, with all Fig. 9 consequences.
+    Return {
+        /// The return pointer.
+        via: PtrReg,
+    },
+    /// Restore the trap-time processor state and resume the disrupted
+    /// instruction (what a RETT instruction does); used by trap
+    /// handlers.
+    Resume,
+    /// Stop the processor.
+    Halt,
+}
+
+/// Signature of a native procedure body.
+pub type NativeFn = dyn Fn(&mut Machine, WordNo) -> Result<NativeAction, Fault>;
+
+/// Registry mapping segment numbers to native procedure bodies.
+pub struct NativeRegistry {
+    handlers: HashMap<SegNo, Rc<NativeFn>>,
+}
+
+impl NativeRegistry {
+    /// An empty registry.
+    pub fn new() -> NativeRegistry {
+        NativeRegistry {
+            handlers: HashMap::new(),
+        }
+    }
+
+    /// Registers `handler` as the body of segment `segno`.
+    pub fn register(&mut self, segno: SegNo, handler: Rc<NativeFn>) {
+        self.handlers.insert(segno, handler);
+    }
+
+    /// Looks up the handler for `segno`.
+    pub fn handler(&self, segno: SegNo) -> Option<Rc<NativeFn>> {
+        self.handlers.get(&segno).cloned()
+    }
+
+    /// True if `segno` is a native segment.
+    pub fn is_native(&self, segno: SegNo) -> bool {
+        self.handlers.contains_key(&segno)
+    }
+}
+
+impl Default for NativeRegistry {
+    fn default() -> Self {
+        NativeRegistry::new()
+    }
+}
+
+impl Machine {
+    /// Registers a native procedure body for segment `segno`. The
+    /// segment must still be given an ordinary SDW (brackets, gates,
+    /// flags): all validation happens against that SDW before the body
+    /// is ever invoked.
+    pub fn register_native<F>(&mut self, segno: SegNo, handler: F)
+    where
+        F: Fn(&mut Machine, WordNo) -> Result<NativeAction, Fault> + 'static,
+    {
+        self.natives.register(segno, Rc::new(handler));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        let mut r = NativeRegistry::new();
+        let seg = SegNo::new(7).unwrap();
+        assert!(!r.is_native(seg));
+        r.register(seg, Rc::new(|_, _| Ok(NativeAction::Halt)));
+        assert!(r.is_native(seg));
+        assert!(r.handler(seg).is_some());
+        assert!(r.handler(SegNo::new(8).unwrap()).is_none());
+    }
+}

@@ -1,0 +1,309 @@
+//! The trap mechanism and processor-state save/restore.
+//!
+//! "When the processor detects such a condition, it changes the ring of
+//! execution to zero and transfers control to a fixed location in the
+//! supervisor. A special instruction allows the state of the processor
+//! at the time of the trap to be restored later if appropriate, resuming
+//! the disrupted instruction."
+//!
+//! The state saved is the state at the *start* of the disrupted
+//! instruction, so an instruction interrupted by (say) a page fault is
+//! re-executed from scratch after RETT — the simulator's analogue of
+//! the hardware's instruction-retry support.
+//!
+//! # Save-area layout (within the trap segment, at `trap_save_offset`)
+//!
+//! ```text
+//! +0       IPR (packed pointer)
+//! +1..+9   PR0..PR7 (packed pointers)
+//! +9       A
+//! +10      Q
+//! +11..+15 X0..X7 (two 18-bit values per word)
+//! +15      indicators (bit 0 zero, bit 1 negative)
+//! +16      fault vector number
+//! +17      fault address (packed pointer: validation ring + address)
+//! +18      fault detail (class / code / channel, fault-specific)
+//! ```
+
+use ring_core::access::{AccessMode, Fault};
+use ring_core::addr::{pack_pointer, unpack_pointer, SegAddr, WordNo, MAX_WORDNO};
+use ring_core::registers::{Ipr, PtrReg, NUM_PR};
+use ring_core::ring::Ring;
+use ring_core::word::Word;
+
+use crate::machine::{Machine, StepOutcome};
+use crate::trace::TraceEvent;
+
+/// Number of words in the processor-state save area.
+pub const SAVE_WORDS: u32 = 19;
+
+/// A complete snapshot of the program-visible processor state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SavedState {
+    /// Instruction pointer (ring + address of the disrupted instruction).
+    pub ipr: Ipr,
+    /// Pointer registers.
+    pub prs: [PtrReg; NUM_PR],
+    /// Accumulator.
+    pub a: Word,
+    /// Q register.
+    pub q: Word,
+    /// Index registers.
+    pub x: [u32; 8],
+    /// Zero indicator.
+    pub ind_zero: bool,
+    /// Negative indicator.
+    pub ind_neg: bool,
+}
+
+impl SavedState {
+    /// Serialises the snapshot (without fault information) into the
+    /// first 16 words of the save-area layout.
+    pub fn pack(&self) -> [Word; 16] {
+        let mut out = [Word::ZERO; 16];
+        out[0] = self.ipr.pack();
+        for (i, pr) in self.prs.iter().enumerate() {
+            out[1 + i] = pr.pack();
+        }
+        out[9] = self.a;
+        out[10] = self.q;
+        for i in 0..4 {
+            out[11 + i] = Word::ZERO
+                .with_field(0, 18, u64::from(self.x[2 * i]))
+                .with_field(18, 18, u64::from(self.x[2 * i + 1]));
+        }
+        out[15] = Word::ZERO
+            .with_bit(0, self.ind_zero)
+            .with_bit(1, self.ind_neg);
+        out
+    }
+
+    /// Deserialises a snapshot from the first 16 save-area words.
+    pub fn unpack(words: &[Word; 16]) -> SavedState {
+        let mut prs = [PtrReg::NULL; NUM_PR];
+        for (i, pr) in prs.iter_mut().enumerate() {
+            *pr = PtrReg::unpack(words[1 + i]);
+        }
+        let mut x = [0u32; 8];
+        for i in 0..4 {
+            x[2 * i] = words[11 + i].field(0, 18) as u32;
+            x[2 * i + 1] = words[11 + i].field(18, 18) as u32;
+        }
+        SavedState {
+            ipr: Ipr::unpack(words[0]),
+            prs,
+            a: words[9],
+            q: words[10],
+            x,
+            ind_zero: words[15].bit(0),
+            ind_neg: words[15].bit(1),
+        }
+    }
+}
+
+/// Fault-specific detail word written at save-area offset +18.
+fn fault_detail(fault: &Fault) -> (Word, Word) {
+    // (fault address pointer, detail word)
+    match fault {
+        Fault::AccessViolation { addr, ring, .. } => (pack_pointer(*ring, *addr), Word::new(0)),
+        Fault::UpwardCall { target, ring } => (pack_pointer(*ring, *target), Word::new(0)),
+        Fault::DownwardReturn { target, ring } => (pack_pointer(*ring, *target), Word::new(0)),
+        Fault::SegmentFault { addr, class } => {
+            (pack_pointer(Ring::R0, *addr), Word::new(u64::from(*class)))
+        }
+        Fault::PageFault { addr } => (pack_pointer(Ring::R0, *addr), Word::new(0)),
+        Fault::Derail { code } => (Word::ZERO, Word::new(u64::from(*code))),
+        Fault::IoCompletion { channel } => (Word::ZERO, Word::new(u64::from(*channel))),
+        Fault::IllegalOpcode { opcode } => (Word::ZERO, Word::new(u64::from(*opcode))),
+        Fault::PrivilegedViolation { ring } => (Word::ZERO, Word::new(u64::from(ring.number()))),
+        Fault::PhysicalBounds { abs } => (Word::ZERO, Word::new(u64::from(*abs))),
+        _ => (Word::ZERO, Word::ZERO),
+    }
+}
+
+impl Machine {
+    /// Enters a trap: saves `snapshot` and the fault description into
+    /// the save area, forces ring 0, and transfers to the fault's
+    /// vector. A fault during trap entry is a double fault and halts the
+    /// machine.
+    pub(crate) fn take_trap(&mut self, snapshot: SavedState, fault: Fault) -> StepOutcome {
+        self.stats.traps += 1;
+        match fault {
+            Fault::UpwardCall { .. } => self.stats.upward_call_traps += 1,
+            Fault::DownwardReturn { .. } => self.stats.downward_return_traps += 1,
+            _ => {}
+        }
+        self.trace.push(|| TraceEvent::Trap { fault });
+        self.cycles += self.config.costs.trap_overhead;
+        self.last_fault = Some(fault);
+
+        if let Err(df) = self.write_save_area(&snapshot, &fault) {
+            self.double_fault = Some(df);
+            self.halted = true;
+            return StepOutcome::Halted;
+        }
+
+        self.in_trap = true;
+        self.ipr = Ipr::new(
+            Ring::R0,
+            SegAddr::new(
+                self.config.trap_segno,
+                WordNo::from_bits(u64::from(
+                    (self.config.trap_vector_base + fault.vector()) & MAX_WORDNO,
+                )),
+            ),
+        );
+        StepOutcome::Trapped(fault)
+    }
+
+    fn write_save_area(&mut self, snapshot: &SavedState, fault: &Fault) -> Result<(), Fault> {
+        let seg = self.config.trap_segno;
+        let base = self.config.trap_save_offset;
+        let sdw = self.sdw_for(
+            SegAddr::new(seg, WordNo::from_bits(u64::from(base))),
+            AccessMode::Write,
+        )?;
+        // Hardware state saving bypasses the access brackets (it is the
+        // processor, not a program, storing) but not presence or bounds.
+        let last = SegAddr::new(seg, WordNo::from_bits(u64::from(base + SAVE_WORDS - 1)));
+        sdw.check_present_and_bounds(AccessMode::Write, last)?;
+        let words = snapshot.pack();
+        for (i, w) in words.iter().enumerate() {
+            let addr = SegAddr::new(seg, WordNo::from_bits(u64::from(base + i as u32)));
+            let abs = self.tr.resolve(&mut self.phys, &sdw, addr, true)?;
+            self.phys.write(abs, *w)?;
+        }
+        let (fap, detail) = fault_detail(fault);
+        let extra = [Word::new(u64::from(fault.vector())), fap, detail];
+        for (i, w) in extra.iter().enumerate() {
+            let addr = SegAddr::new(seg, WordNo::from_bits(u64::from(base + 16 + i as u32)));
+            let abs = self.tr.resolve(&mut self.phys, &sdw, addr, true)?;
+            self.phys.write(abs, *w)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the save area back into a snapshot plus fault vector.
+    pub(crate) fn read_save_area(&mut self) -> Result<(SavedState, u32), Fault> {
+        let seg = self.config.trap_segno;
+        let base = self.config.trap_save_offset;
+        let sdw = self.sdw_for(
+            SegAddr::new(seg, WordNo::from_bits(u64::from(base))),
+            AccessMode::Read,
+        )?;
+        let mut words = [Word::ZERO; 16];
+        for (i, w) in words.iter_mut().enumerate() {
+            let addr = SegAddr::new(seg, WordNo::from_bits(u64::from(base + i as u32)));
+            let abs = self.tr.resolve(&mut self.phys, &sdw, addr, false)?;
+            *w = self.phys.read(abs)?;
+        }
+        let vaddr = SegAddr::new(seg, WordNo::from_bits(u64::from(base + 16)));
+        let abs = self.tr.resolve(&mut self.phys, &sdw, vaddr, false)?;
+        let vector = self.phys.read(abs)?.raw() as u32;
+        Ok((SavedState::unpack(&words), vector))
+    }
+
+    /// The RETT instruction: restores the saved processor state and
+    /// resumes the disrupted instruction. Privileged (checked by the
+    /// dispatcher); also ends the trap-servicing window, re-enabling
+    /// asynchronous trap recognition.
+    pub(crate) fn exec_rett(&mut self) -> Result<(), Fault> {
+        let (state, _) = self.read_save_area()?;
+        self.restore(&state);
+        self.in_trap = false;
+        self.last_fault = None;
+        self.charge(self.config.costs.rett_overhead);
+        Ok(())
+    }
+
+    /// Fault information saved with the last trap: `(vector, validation
+    /// ring, faulting address, detail)` — the supervisor-visible fault
+    /// registers. Native trap handlers read this instead of re-parsing
+    /// memory.
+    pub fn fault_info(&mut self) -> Result<(u32, Ring, SegAddr, Word), Fault> {
+        let seg = self.config.trap_segno;
+        let base = self.config.trap_save_offset;
+        let sdw = self.sdw_for(
+            SegAddr::new(seg, WordNo::from_bits(u64::from(base))),
+            AccessMode::Read,
+        )?;
+        let mut out = [Word::ZERO; 3];
+        for (i, w) in out.iter_mut().enumerate() {
+            let addr = SegAddr::new(seg, WordNo::from_bits(u64::from(base + 16 + i as u32)));
+            let abs = self.tr.resolve(&mut self.phys, &sdw, addr, false)?;
+            *w = self.phys.read(abs)?;
+        }
+        let (ring, addr) = unpack_pointer(out[1]);
+        Ok((out[0].raw() as u32, ring, addr, out[2]))
+    }
+
+    /// The saved state currently in the save area (for supervisor
+    /// handlers that need to inspect or modify the interrupted
+    /// computation, e.g. the upward-call mediator).
+    pub fn saved_state(&mut self) -> Result<SavedState, Fault> {
+        self.read_save_area().map(|(s, _)| s)
+    }
+
+    /// Overwrites the saved state (supervisor handlers adjusting the
+    /// resume point, e.g. completing a software ring crossing).
+    pub fn set_saved_state(&mut self, state: &SavedState) -> Result<(), Fault> {
+        let seg = self.config.trap_segno;
+        let base = self.config.trap_save_offset;
+        let sdw = self.sdw_for(
+            SegAddr::new(seg, WordNo::from_bits(u64::from(base))),
+            AccessMode::Write,
+        )?;
+        let words = state.pack();
+        for (i, w) in words.iter().enumerate() {
+            let addr = SegAddr::new(seg, WordNo::from_bits(u64::from(base + i as u32)));
+            let abs = self.tr.resolve(&mut self.phys, &sdw, addr, true)?;
+            self.phys.write(abs, *w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_core::addr::SegNo;
+
+    fn sample_state() -> SavedState {
+        let mut prs = [PtrReg::NULL; NUM_PR];
+        for (i, pr) in prs.iter_mut().enumerate() {
+            *pr = PtrReg::new(
+                Ring::new(i as u8).unwrap(),
+                SegAddr::new(
+                    SegNo::new(i as u32 * 3).unwrap(),
+                    WordNo::new(i as u32 * 7).unwrap(),
+                ),
+            );
+        }
+        SavedState {
+            ipr: Ipr::new(Ring::R4, SegAddr::from_parts(100, 0o1234).unwrap()),
+            prs,
+            a: Word::new(0o707070),
+            q: Word::new(0o121212),
+            x: [1, 2, 3, 4, 5, 6, 7, 0o777777],
+            ind_zero: false,
+            ind_neg: true,
+        }
+    }
+
+    #[test]
+    fn saved_state_pack_round_trip() {
+        let s = sample_state();
+        assert_eq!(SavedState::unpack(&s.pack()), s);
+    }
+
+    #[test]
+    fn indicators_round_trip_all_combinations() {
+        for (z, n) in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut s = sample_state();
+            s.ind_zero = z;
+            s.ind_neg = n;
+            let r = SavedState::unpack(&s.pack());
+            assert_eq!((r.ind_zero, r.ind_neg), (z, n));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Edge cases of the machine: double faults, asynchronous-trap masking
+//! during trap service, I/O channel busy handling, tracing, and cycle
+//! accounting details.
+
+use ring_core::access::Fault;
+use ring_core::registers::PtrReg;
+use ring_core::ring::Ring;
+use ring_core::sdw::SdwBuilder;
+use ring_core::word::Word;
+use ring_cpu::io::{Direction, IoSystem};
+use ring_cpu::isa::{Instr, Opcode};
+use ring_cpu::machine::{RunExit, StepOutcome};
+use ring_cpu::native::NativeAction;
+use ring_cpu::testkit::{addr, World};
+use ring_cpu::trace::TraceEvent;
+
+#[test]
+fn missing_trap_segment_is_a_double_fault() {
+    // No trap segment installed at all: the first fault cannot be
+    // serviced; the machine must stop rather than loop or corrupt.
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+    );
+    w.poke_instr(code, 0, Instr::direct(Opcode::Drl, 1));
+    w.start(Ring::R4, code, 0);
+    assert_eq!(w.machine.step(), StepOutcome::Halted);
+    // The save-area write faulted (trap segment missing): the exact
+    // word is the presence check's bound probe.
+    assert!(matches!(
+        w.machine.run(10),
+        RunExit::DoubleFault(Fault::SegmentFault { .. })
+    ));
+    // clear_halt refuses to restart a double-faulted machine.
+    w.machine.clear_halt();
+    assert!(w.machine.halted());
+}
+
+#[test]
+fn async_traps_are_held_off_during_trap_service() {
+    // Arm the timer so it expires while a derail is being serviced; the
+    // timer trap must wait until after RETT (the save area is in use).
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+    );
+    let trap = w.add_trap_segment();
+    w.machine.register_native(trap, |m, entry| {
+        if entry.value() == ring_core::access::vector::DERAIL {
+            // Service takes long enough that the timer has expired.
+            m.charge(10_000);
+            let mut st = m.saved_state()?;
+            st.ipr = ring_core::registers::Ipr::new(
+                st.ipr.ring,
+                ring_core::addr::SegAddr::new(
+                    st.ipr.addr.segno,
+                    st.ipr.addr.wordno.wrapping_add(1),
+                ),
+            );
+            m.set_saved_state(&st)?;
+            Ok(NativeAction::Resume)
+        } else {
+            Ok(NativeAction::Halt)
+        }
+    });
+    w.poke_instr(code, 0, Instr::direct(Opcode::Drl, 1));
+    w.poke_instr(code, 1, Instr::direct(Opcode::Nop, 0));
+    w.poke_instr(code, 2, Instr::direct(Opcode::Nop, 0));
+    w.start(Ring::R4, code, 0);
+    w.machine.set_timer(Some(50));
+
+    assert!(matches!(
+        w.machine.step(),
+        StepOutcome::Trapped(Fault::Derail { .. })
+    ));
+    // Next step services the derail (native) — the timer has long
+    // expired but must NOT preempt the service.
+    assert_eq!(w.machine.step(), StepOutcome::Ran);
+    // Now the timer trap is recognised, between instructions.
+    assert!(matches!(
+        w.machine.step(),
+        StepOutcome::Trapped(Fault::TimerRunout)
+    ));
+}
+
+#[test]
+fn sio_to_busy_channel_reports_channel_busy() {
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R0, Ring::R0, Ring::R0)
+            .write(true)
+            .bound_words(64),
+    );
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    // Two back-to-back SIOs on the same channel: the second faults.
+    let (c0, c1) = IoSystem::channel_program(
+        2,
+        Direction::Output,
+        ring_core::addr::AbsAddr::new(0).unwrap(),
+        1000,
+    );
+    w.poke(code, 10, c0);
+    w.poke(code, 11, c1);
+    w.poke_instr(code, 0, Instr::direct(Opcode::Sio, 10));
+    w.poke_instr(code, 1, Instr::direct(Opcode::Sio, 10));
+    w.start(Ring::R0, code, 0);
+    assert_eq!(w.machine.step(), StepOutcome::Ran);
+    assert!(w.machine.io().busy(2));
+    match w.machine.step() {
+        StepOutcome::Trapped(Fault::Derail { code: 0o77 }) => {}
+        other => panic!("expected channel-busy derail, got {other:?}"),
+    }
+}
+
+#[test]
+fn trace_records_the_interesting_events() {
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4)
+            .gates(2)
+            .bound_words(64),
+    );
+    w.add_standard_stacks(16);
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.poke_instr(code, 0, Instr::direct(Opcode::Call, 1)); // same-segment call
+    w.poke_instr(code, 1, Instr::direct(Opcode::Drl, 0o777));
+    w.start(Ring::R4, code, 0);
+    w.machine.enable_trace(64);
+    w.machine.run(10);
+    let trace = w.machine.take_trace();
+    assert!(trace.iter().any(|e| matches!(e, TraceEvent::Call { .. })));
+    assert!(trace.iter().any(|e| matches!(e, TraceEvent::Trap { .. })));
+    assert!(trace.iter().any(|e| matches!(e, TraceEvent::Instr { .. })));
+    assert!(trace.iter().any(|e| matches!(e, TraceEvent::Native { .. })));
+    // Drained.
+    assert!(w.machine.take_trace().is_empty());
+}
+
+#[test]
+fn charge_adds_to_cycles_and_timer() {
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+    );
+    let native_seg = w.add_segment(
+        11,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4)
+            .gates(1)
+            .bound_words(16),
+    );
+    w.add_standard_stacks(16);
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.machine.register_native(native_seg, |m, _| {
+        m.charge(500);
+        Ok(NativeAction::Return { via: m.pr(2) })
+    });
+    w.machine.set_pr(2, PtrReg::new(Ring::R4, addr(10, 1)));
+    w.machine.set_pr(3, PtrReg::new(Ring::R4, addr(11, 0)));
+    w.poke_instr(code, 0, Instr::pr_relative(Opcode::Call, 3, 0));
+    w.poke_instr(code, 1, Instr::direct(Opcode::Nop, 0));
+    w.start(Ring::R4, code, 0);
+    let before = w.machine.cycles();
+    w.machine.step(); // CALL
+    w.machine.step(); // native body (+500) + RETURN
+    assert!(
+        w.machine.cycles() - before >= 500,
+        "charged cycles are accounted"
+    );
+}
+
+#[test]
+fn indicators_reflect_loads_and_arithmetic() {
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(64),
+    );
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    // LDQ must NOT disturb the indicators (only A-register ops do).
+    w.poke_instr(code, 0, Instr::direct(Opcode::Lda, 0).immediate()); // zero
+    w.poke_instr(code, 1, Instr::direct(Opcode::Ldq, 5).immediate());
+    w.poke_instr(code, 2, Instr::direct(Opcode::Tze, 10)); // still zero -> taken
+    w.poke_instr(code, 10, Instr::direct(Opcode::Nop, 0));
+    w.start(Ring::R4, code, 0);
+    for _ in 0..3 {
+        assert_eq!(w.machine.step(), StepOutcome::Ran);
+    }
+    assert_eq!(w.machine.ipr().addr.wordno.value(), 10);
+}
+
+#[test]
+fn run_exit_reports_budget() {
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+    );
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.poke_instr(code, 0, Instr::direct(Opcode::Tra, 0)); // tight loop
+    w.start(Ring::R4, code, 0);
+    assert_eq!(w.machine.run(100), RunExit::BudgetExhausted);
+    assert_eq!(w.machine.stats().instructions, 100);
+}
+
+#[test]
+fn stz_write_validation_at_effective_ring() {
+    // STZ through a pointer whose ring is above the write bracket
+    // faults even though the executing ring is privileged enough —
+    // the per-reference validation the paper's argument story needs.
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R1, Ring::R1, Ring::R1).bound_words(16),
+    );
+    let data = w.add_segment(11, SdwBuilder::data(Ring::R2, Ring::R4).bound_words(16));
+    let _ = data;
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.start(Ring::R1, code, 0);
+    w.machine.set_pr(4, PtrReg::new(Ring::R4, addr(11, 0)));
+    w.poke_instr(code, 0, Instr::pr_relative(Opcode::Stz, 4, 0));
+    match w.machine.step() {
+        StepOutcome::Trapped(Fault::AccessViolation { ring, .. }) => {
+            assert_eq!(ring, Ring::R4, "validated at the effective ring");
+        }
+        other => panic!("expected violation, got {other:?}"),
+    }
+    // The same store with a ring-1 pointer (privileged provenance)
+    // succeeds: write bracket is [0,2].
+    let mut w2 = World::new();
+    let code = w2.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R1, Ring::R1, Ring::R1).bound_words(16),
+    );
+    w2.add_segment(11, SdwBuilder::data(Ring::R2, Ring::R4).bound_words(16));
+    let trap = w2.add_trap_segment();
+    w2.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w2.start(Ring::R1, code, 0);
+    w2.machine.set_pr(4, PtrReg::new(Ring::R1, addr(11, 0)));
+    w2.poke_instr(code, 0, Instr::pr_relative(Opcode::Stz, 4, 0));
+    assert_eq!(w2.machine.step(), StepOutcome::Ran);
+}
+
+#[test]
+fn word_zero_write_readback_via_validated_accessors() {
+    let mut w = World::new();
+    w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+    );
+    w.start(Ring::R4, ring_core::addr::SegNo::new(10).unwrap(), 0);
+    let p = PtrReg::new(Ring::R4, addr(11, 3));
+    w.machine.write_validated(p, Word::new(0o1234)).unwrap();
+    assert_eq!(w.machine.read_validated(p).unwrap(), Word::new(0o1234));
+    // Pointer round trip through memory.
+    let slot = PtrReg::new(Ring::R4, addr(11, 8));
+    w.machine.write_pointer_validated(slot, p).unwrap();
+    let back = w.machine.read_pointer_validated(slot).unwrap();
+    assert_eq!(back.addr, p.addr);
+    assert_eq!(back.ring, Ring::R4);
+}

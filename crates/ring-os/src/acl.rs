@@ -1,0 +1,217 @@
+//! Access control lists.
+//!
+//! "The users that are permitted to access each segment are named by an
+//! access control list associated with each segment. ... The gate list
+//! and the numbers specifying the read, write, and execute brackets and
+//! gate extension in each SDW all come from the access control list
+//! entry which permitted the process to include the corresponding
+//! segment in its virtual memory."
+//!
+//! The sole-occupant constraint of the paper's software facility is
+//! enforced here too: "a program executing in ring n cannot specify R1,
+//! R2, or R3 values of less than n in an access control list entry of
+//! any segment."
+
+use ring_core::ring::Ring;
+use ring_core::sdw::SdwBuilder;
+
+/// Mode flags of an ACL entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Modes {
+    /// Read permitted.
+    pub read: bool,
+    /// Write permitted.
+    pub write: bool,
+    /// Execute permitted.
+    pub execute: bool,
+}
+
+impl Modes {
+    /// Read+write (data segment).
+    pub const RW: Modes = Modes {
+        read: true,
+        write: true,
+        execute: false,
+    };
+    /// Read+execute (pure procedure).
+    pub const RE: Modes = Modes {
+        read: true,
+        write: false,
+        execute: true,
+    };
+    /// Read only.
+    pub const R: Modes = Modes {
+        read: true,
+        write: false,
+        execute: false,
+    };
+    /// No access (an explicit null entry).
+    pub const NONE: Modes = Modes {
+        read: false,
+        write: false,
+        execute: false,
+    };
+}
+
+/// One entry of an access control list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AclEntry {
+    /// User name the entry applies to; `"*"` matches every user.
+    pub user: String,
+    /// Permission flags.
+    pub modes: Modes,
+    /// Ring brackets `(R1, R2, R3)` granted by this entry.
+    pub rings: (Ring, Ring, Ring),
+    /// Gate count granted by this entry.
+    pub gates: u32,
+}
+
+impl AclEntry {
+    /// Creates an entry, checking `R1 <= R2 <= R3`.
+    pub fn new(
+        user: &str,
+        modes: Modes,
+        rings: (Ring, Ring, Ring),
+        gates: u32,
+    ) -> Option<AclEntry> {
+        let (r1, r2, r3) = rings;
+        if !(r1 <= r2 && r2 <= r3) {
+            return None;
+        }
+        Some(AclEntry {
+            user: user.to_string(),
+            modes,
+            rings,
+            gates,
+        })
+    }
+
+    /// Applies the entry's access fields to an SDW builder (the ACL →
+    /// SDW flow of the paper).
+    pub fn apply(&self, b: SdwBuilder) -> SdwBuilder {
+        b.rings(self.rings.0, self.rings.1, self.rings.2)
+            .read(self.modes.read)
+            .write(self.modes.write)
+            .execute(self.modes.execute)
+            .gates(self.gates)
+    }
+}
+
+/// An access control list: ordered entries, first match wins.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Acl {
+    entries: Vec<AclEntry>,
+}
+
+impl Acl {
+    /// An empty list (no access for anyone).
+    pub fn new() -> Acl {
+        Acl::default()
+    }
+
+    /// A list with a single entry.
+    pub fn single(entry: AclEntry) -> Acl {
+        Acl {
+            entries: vec![entry],
+        }
+    }
+
+    /// Appends an entry (matched after all existing entries).
+    pub fn push(&mut self, entry: AclEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Replaces the entry for exactly `user`, or appends one.
+    ///
+    /// Returns `Err` with a description if `setter_ring` violates the
+    /// sole-occupant constraint: a program executing in ring n may not
+    /// specify R1, R2 or R3 below n.
+    pub fn set(&mut self, entry: AclEntry, setter_ring: Ring) -> Result<(), String> {
+        let (r1, r2, r3) = entry.rings;
+        if r1 < setter_ring || r2 < setter_ring || r3 < setter_ring {
+            return Err(format!(
+                "ring {setter_ring} may not grant brackets ({r1},{r2},{r3})"
+            ));
+        }
+        match self.entries.iter_mut().find(|e| e.user == entry.user) {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
+        }
+        Ok(())
+    }
+
+    /// The first entry matching `user` (exact name before wildcard, in
+    /// list order).
+    pub fn lookup(&self, user: &str) -> Option<&AclEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.user == user || e.user == "*")
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(user: &str, top: Ring) -> AclEntry {
+        AclEntry::new(user, Modes::RW, (top, top, top), 0).unwrap()
+    }
+
+    #[test]
+    fn first_match_wins_and_wildcard_matches_all() {
+        let mut acl = Acl::new();
+        acl.push(entry("alice", Ring::R2));
+        acl.push(entry("*", Ring::R5));
+        assert_eq!(acl.lookup("alice").unwrap().rings.0, Ring::R2);
+        assert_eq!(acl.lookup("bob").unwrap().rings.0, Ring::R5);
+        let empty = Acl::new();
+        assert!(empty.lookup("alice").is_none());
+    }
+
+    #[test]
+    fn entry_ring_ordering_enforced() {
+        assert!(AclEntry::new("u", Modes::R, (Ring::R3, Ring::R2, Ring::R4), 0).is_none());
+        assert!(AclEntry::new("u", Modes::R, (Ring::R2, Ring::R2, Ring::R4), 0).is_some());
+    }
+
+    #[test]
+    fn sole_occupant_constraint() {
+        let mut acl = Acl::new();
+        // Ring-4 program cannot grant ring-2 brackets.
+        let e = entry("mallory", Ring::R2);
+        assert!(acl.set(e.clone(), Ring::R4).is_err());
+        // Ring-1 supervisor can.
+        assert!(acl.set(e, Ring::R1).is_ok());
+        // Ring-4 may grant ring-4-and-above brackets.
+        assert!(acl.set(entry("bob", Ring::R5), Ring::R4).is_ok());
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut acl = Acl::new();
+        acl.set(entry("alice", Ring::R4), Ring::R0).unwrap();
+        acl.set(entry("alice", Ring::R5), Ring::R0).unwrap();
+        assert_eq!(acl.len(), 1);
+        assert_eq!(acl.lookup("alice").unwrap().rings.0, Ring::R5);
+    }
+
+    #[test]
+    fn entry_applies_to_sdw() {
+        let e = AclEntry::new("alice", Modes::RE, (Ring::R1, Ring::R1, Ring::R5), 3).unwrap();
+        let sdw = e.apply(SdwBuilder::new()).build();
+        assert!(sdw.read && sdw.execute && !sdw.write);
+        assert_eq!(sdw.r1, Ring::R1);
+        assert_eq!(sdw.r3, Ring::R5);
+        assert_eq!(sdw.gate, 3);
+    }
+}

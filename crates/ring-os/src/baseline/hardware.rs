@@ -1,0 +1,208 @@
+//! The hardware-ring fixture matched to [`crate::baseline::soft645`]:
+//! the *same* workload — ring-4 user code calling a ring-1 service with
+//! `n` arguments — running on the paper's hardware mechanisms. One
+//! descriptor segment, brackets and gates in the SDW, CALL/RETURN cross
+//! rings without a single trap, and argument references are validated
+//! per reference by the effective-ring machinery instead of up front by
+//! a gatekeeper.
+
+use ring_core::addr::{SegAddr, SegNo, WordNo};
+use ring_core::registers::{Ipr, PtrReg};
+use ring_core::ring::Ring;
+use ring_core::sdw::SdwBuilder;
+use ring_core::word::Word;
+use ring_cpu::machine::RunExit;
+use ring_cpu::native::NativeAction;
+use ring_cpu::testkit::World;
+
+/// Segment numbers (aligned with the soft645 fixture for readability).
+pub mod segs {
+    /// User (ring 4) code segment.
+    pub const USER_CODE: u32 = 10;
+    /// User data segment.
+    pub const USER_DATA: u32 = 11;
+    /// The protected ring-1 service segment.
+    pub const SERVICE: u32 = 20;
+}
+
+/// The hardware-rings crossing fixture.
+pub struct HardRings {
+    /// The underlying bare world.
+    pub world: World,
+    user_entry: u32,
+}
+
+impl HardRings {
+    /// Builds the fixture. The service reads its `n_args` arguments
+    /// through the automatically validated argument pointers, sums
+    /// them, and stores the sum at `USER_DATA[63]` through a
+    /// caller-level pointer. `target_ring` selects the service's
+    /// execute bracket (use `Ring::R4` for the same-ring control).
+    pub fn new(n_args: u32, target_ring: Ring) -> HardRings {
+        let mut world = World::new();
+        let code = world.add_segment(
+            segs::USER_CODE,
+            SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(256),
+        );
+        world.add_segment(
+            segs::USER_DATA,
+            SdwBuilder::data(Ring::R4, Ring::R4).bound_words(128),
+        );
+        let service = world.add_segment(
+            segs::SERVICE,
+            SdwBuilder::procedure(target_ring, target_ring, Ring::R5)
+                .gates(1)
+                .bound_words(16),
+        );
+        world.add_standard_stacks(16);
+        let trap = world.add_trap_segment();
+        world
+            .machine
+            .register_native(trap, |_, _| Ok(NativeAction::Halt));
+
+        // The service: argument references go through arg_pointer /
+        // read_validated, i.e. the hardware validates each one at the
+        // caller's effective ring — no gatekeeper anywhere.
+        world.machine.register_native(service, move |m, _| {
+            let ap = m.pr(1);
+            let n = m.xreg(7);
+            let mut sum = Word::ZERO;
+            for i in 0..n {
+                let argp = m.arg_pointer(ap, i)?;
+                sum = sum.wrapping_add(m.read_validated(argp)?);
+            }
+            m.write_validated(
+                PtrReg::new(
+                    m.pr(1).ring,
+                    SegAddr::from_parts(segs::USER_DATA, 63).expect("result"),
+                ),
+                sum,
+            )?;
+            Ok(NativeAction::Return { via: m.pr(2) })
+        });
+
+        // Identical user program to the soft645 fixture.
+        let mut asm = String::from(
+            "
+        eap pr1, args
+        eap pr2, ret0
+        eap pr3, gatep,*
+        call pr3|0
+ret0:   drl 0o777
+gatep:  its 4, 20, 0
+args:
+",
+        );
+        for i in 0..n_args.max(1) {
+            asm.push_str(&format!("        its 4, {}, {}\n", segs::USER_DATA, i));
+        }
+        let out = ring_asm::assemble(&asm).expect("user program");
+        for (i, w) in out.words.iter().enumerate() {
+            world.poke(code, i as u32, *w);
+        }
+        let data = SegNo::new(segs::USER_DATA).expect("segno");
+        for i in 0..n_args.max(1) {
+            world.poke(data, i, Word::new(u64::from(10 + i)));
+        }
+
+        let mut f = HardRings {
+            world,
+            user_entry: 0,
+        };
+        f.reset(n_args);
+        f
+    }
+
+    /// Resets the processor to the start of the user program.
+    pub fn reset(&mut self, n_args: u32) {
+        self.world.machine.clear_halt();
+        let code = SegNo::new(segs::USER_CODE).expect("segno");
+        self.world.machine.set_ipr(Ipr::new(
+            Ring::R4,
+            SegAddr::new(code, WordNo::new(self.user_entry).expect("entry")),
+        ));
+        for n in 0..8 {
+            self.world
+                .machine
+                .set_pr(n, PtrReg::new(Ring::R4, SegAddr::new(code, WordNo::ZERO)));
+        }
+        self.world.machine.set_xreg(7, n_args);
+    }
+
+    /// Runs one call/return round trip, returning its cycle cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run does not halt cleanly.
+    pub fn run_once(&mut self, n_args: u32) -> u64 {
+        self.reset(n_args);
+        let before = self.world.machine.cycles();
+        let exit = self.world.machine.run(10_000);
+        assert_eq!(exit, RunExit::Halted, "hardware round trip must halt");
+        self.world.machine.cycles() - before
+    }
+
+    /// The result word the service stored.
+    pub fn result(&self) -> Word {
+        self.world
+            .peek(SegNo::new(segs::USER_DATA).expect("segno"), 63)
+    }
+
+    /// Traps taken so far (should stay at the single exit derail per
+    /// run for the cross-ring case — that is the paper's point).
+    pub fn traps(&self) -> u64 {
+        self.world.machine.stats().traps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_ring_call_takes_no_crossing_traps() {
+        let mut f = HardRings::new(3, Ring::R1);
+        let cycles = f.run_once(3);
+        assert!(cycles > 0);
+        assert_eq!(f.result().raw(), 10 + 11 + 12);
+        // Only the exit derail trapped; the downward call and upward
+        // return were pure hardware.
+        assert_eq!(f.traps(), 1);
+        let st = f.world.machine.stats();
+        assert_eq!(st.calls_downward, 1);
+        assert_eq!(st.returns_upward, 1);
+    }
+
+    #[test]
+    fn same_ring_and_cross_ring_cost_identically() {
+        let same = HardRings::new(2, Ring::R4).run_once(2);
+        let cross = HardRings::new(2, Ring::R1).run_once(2);
+        assert_eq!(
+            same, cross,
+            "the headline claim: a protected-subsystem call is identical \
+             to a companion-procedure call"
+        );
+    }
+
+    #[test]
+    fn matches_soft645_result_for_all_arg_counts() {
+        for n in 1..=6 {
+            let mut h = HardRings::new(n, Ring::R1);
+            h.run_once(n);
+            let mut s = crate::baseline::soft645::Soft645::new(n);
+            s.run_once(n);
+            assert_eq!(h.result(), s.result(), "same computation, n={n}");
+        }
+    }
+
+    #[test]
+    fn hardware_is_cheaper_than_software_rings() {
+        let hard = HardRings::new(4, Ring::R1).run_once(4);
+        let soft = crate::baseline::soft645::Soft645::new(4).run_once(4);
+        assert!(
+            soft > 2 * hard,
+            "software rings should cost several times hardware rings \
+             (hard={hard}, soft={soft})"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Comparison baselines for the evaluation.
+//!
+//! * [`soft645`] — software-implemented rings as on the Honeywell 645:
+//!   one descriptor segment per ring, every ring crossing trapping to a
+//!   software gatekeeper that validates the gate and arguments and
+//!   switches the DBR.
+//! * [`two_mode`] — the traditional supervisor/user two-mode machine:
+//!   every protected operation is a trap into the kernel.
+//! * [`graham67`] — Graham's 1967 partial hardware proposal (from the
+//!   paper's Background): brackets in hardware, software intervention
+//!   on all ring crossings.
+//! * [`hardware`] — the matched fixture running the same workload on
+//!   the paper's hardware mechanisms, for like-for-like comparison.
+
+pub mod graham67;
+pub mod hardware;
+pub mod soft645;
+pub mod two_mode;

@@ -1,0 +1,206 @@
+//! The traditional supervisor/user two-mode machine.
+//!
+//! The paper positions rings as "a methodical generalization of the
+//! traditional supervisor/user protection scheme". This fixture models
+//! that ancestor: there are only two domains — user code and a kernel —
+//! and *every* protected operation is a trap into the kernel (a system
+//! call by derail), which validates all arguments in software and runs
+//! the service with full privilege. There are no intermediate rings, so
+//! user-constructed protected subsystems are impossible: anything
+//! needing protection must be added to the kernel.
+
+use ring_core::access::vector;
+use ring_core::addr::{SegAddr, SegNo, WordNo};
+use ring_core::registers::{Ipr, PtrReg};
+use ring_core::ring::Ring;
+use ring_core::sdw::SdwBuilder;
+use ring_core::word::Word;
+use ring_cpu::machine::{Machine, RunExit};
+use ring_cpu::native::NativeAction;
+use ring_cpu::testkit::World;
+
+/// Kernel software costs.
+pub mod cost {
+    /// System-call dispatch (mode switch bookkeeping).
+    pub const DISPATCH: u64 = 15;
+    /// Per-argument software validation.
+    pub const PER_ARG: u64 = 6;
+}
+
+/// The system-call number of the fixture's "sum arguments" service.
+pub const SYS_SUM: u32 = 1;
+
+/// Segment numbers.
+pub mod segs {
+    /// User code.
+    pub const USER_CODE: u32 = 10;
+    /// User data.
+    pub const USER_DATA: u32 = 11;
+}
+
+/// The two-mode crossing fixture: user code invokes the kernel's sum
+/// service on `n_args` arguments via a trap.
+pub struct TwoMode {
+    /// The underlying bare world.
+    pub world: World,
+}
+
+impl TwoMode {
+    /// Builds the fixture.
+    pub fn new(n_args: u32) -> TwoMode {
+        let mut world = World::new();
+        let code = world.add_segment(
+            segs::USER_CODE,
+            SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(256),
+        );
+        world.add_segment(
+            segs::USER_DATA,
+            SdwBuilder::data(Ring::R4, Ring::R4).bound_words(128),
+        );
+        world.add_standard_stacks(16);
+        let trap = world.add_trap_segment();
+
+        // The kernel: dispatches derail codes.
+        world.machine.register_native(trap, move |m, entry| {
+            if entry.value() != vector::DERAIL {
+                return Ok(NativeAction::Halt);
+            }
+            let (_, _, _, detail) = m.fault_info()?;
+            let code = detail.raw() as u32;
+            if code != SYS_SUM {
+                return Ok(NativeAction::Halt); // exit convention
+            }
+            m.charge(cost::DISPATCH);
+            let mut state = m.saved_state()?;
+            // Validate then execute with full privilege: read each
+            // argument pair through the caller's view, then run.
+            let ap = state.prs[1];
+            let n = state.x[7];
+            let mut sum = Word::ZERO;
+            for i in 0..n {
+                let slot = PtrReg::new(
+                    state.ipr.ring,
+                    SegAddr::new(ap.addr.segno, ap.addr.wordno.wrapping_add(2 * i)),
+                );
+                let argp = m.read_pointer_validated(slot)?;
+                m.charge(cost::PER_ARG);
+                sum = sum.wrapping_add(m.read_validated(argp)?);
+            }
+            m.write_validated(
+                PtrReg::new(
+                    Ring::R0,
+                    SegAddr::from_parts(segs::USER_DATA, 63).expect("result"),
+                ),
+                sum,
+            )?;
+            // Resume *after* the trapping instruction (a system call
+            // returns to the next instruction, unlike a fault retry).
+            state.ipr = Ipr::new(
+                state.ipr.ring,
+                SegAddr::new(state.ipr.addr.segno, state.ipr.addr.wordno.wrapping_add(1)),
+            );
+            m.set_saved_state(&state)?;
+            Ok(NativeAction::Resume)
+        });
+
+        // User program: point PR1 at the argument list, trap, exit.
+        let mut asm = format!(
+            "
+        eap pr1, args
+        drl {SYS_SUM}
+        drl 0o777
+args:
+"
+        );
+        for i in 0..n_args.max(1) {
+            asm.push_str(&format!("        its 4, {}, {}\n", segs::USER_DATA, i));
+        }
+        let out = ring_asm::assemble(&asm).expect("user program");
+        for (i, w) in out.words.iter().enumerate() {
+            world.poke(code, i as u32, *w);
+        }
+        let data = SegNo::new(segs::USER_DATA).expect("segno");
+        for i in 0..n_args.max(1) {
+            world.poke(data, i, Word::new(u64::from(10 + i)));
+        }
+
+        let mut f = TwoMode { world };
+        f.reset(n_args);
+        f
+    }
+
+    /// Resets to the start of the user program.
+    pub fn reset(&mut self, n_args: u32) {
+        self.world.machine.clear_halt();
+        let code = SegNo::new(segs::USER_CODE).expect("segno");
+        self.world
+            .machine
+            .set_ipr(Ipr::new(Ring::R4, SegAddr::new(code, WordNo::ZERO)));
+        for n in 0..8 {
+            self.world
+                .machine
+                .set_pr(n, PtrReg::new(Ring::R4, SegAddr::new(code, WordNo::ZERO)));
+        }
+        self.world.machine.set_xreg(7, n_args);
+    }
+
+    /// Runs one system-call round trip, returning its cycle cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run does not halt cleanly.
+    pub fn run_once(&mut self, n_args: u32) -> u64 {
+        self.reset(n_args);
+        let before = self.world.machine.cycles();
+        let exit = self.world.machine.run(10_000);
+        assert_eq!(exit, RunExit::Halted, "two-mode round trip must halt");
+        self.world.machine.cycles() - before
+    }
+
+    /// The result word the kernel stored.
+    pub fn result(&self) -> Word {
+        self.world
+            .peek(SegNo::new(segs::USER_DATA).expect("segno"), 63)
+    }
+
+    /// Direct access to the machine.
+    pub fn machine(&mut self) -> &mut Machine {
+        &mut self.world.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_call_round_trip_computes() {
+        let mut f = TwoMode::new(3);
+        let cycles = f.run_once(3);
+        assert!(cycles > 0);
+        assert_eq!(f.result().raw(), 10 + 11 + 12);
+        // Two traps: the system call and the exit derail.
+        assert_eq!(f.world.machine.stats().traps, 2);
+    }
+
+    #[test]
+    fn matches_hardware_fixture_result() {
+        for n in 1..=4 {
+            let mut t = TwoMode::new(n);
+            t.run_once(n);
+            let mut h = crate::baseline::hardware::HardRings::new(n, Ring::R1);
+            h.run_once(n);
+            assert_eq!(t.result(), h.result(), "same computation, n={n}");
+        }
+    }
+
+    #[test]
+    fn trap_based_call_costs_more_than_hardware_call() {
+        let two = TwoMode::new(2).run_once(2);
+        let hard = crate::baseline::hardware::HardRings::new(2, Ring::R1).run_once(2);
+        assert!(
+            two > hard,
+            "a trap-based protected call must cost more (two={two}, hard={hard})"
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! World building: booting a complete system.
+//!
+//! [`System::boot`] constructs the machine, lays out the shared
+//! supervisor segments (trap vectors, the two gate segments, supervisor
+//! data for both layers), and registers the native supervisor bodies.
+//! [`System::login`] then creates a process — its own descriptor
+//! segment with the supervisor template installed plus eight per-ring
+//! stack segments — exactly the paper's model of a layered supervisor
+//! present in the virtual memory of every process.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ring_core::addr::{AbsAddr, SegNo};
+use ring_core::callret::StackRule;
+use ring_core::effective::EffectiveRingRules;
+use ring_core::ring::Ring;
+use ring_core::sdw::{Sdw, SdwBuilder};
+use ring_core::word::Word;
+use ring_cpu::machine::{Machine, MachineConfig};
+use ring_segmem::layout::PhysAllocator;
+
+use crate::acl::Acl;
+use crate::conventions::{frame, hcs, ring1, segs};
+use crate::fs::SegmentId;
+use crate::process::ProcessState;
+use crate::state::OsState;
+
+/// Configuration knobs for a booted system.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Physical memory size in words.
+    pub phys_words: usize,
+    /// SDW associative-memory capacity.
+    pub sdw_cache: usize,
+    /// Effective-ring rules (ablations).
+    pub ea_rules: EffectiveRingRules,
+    /// CALL stack-selection rule. Keep the default [`StackRule::DbrBase`]
+    /// for booted systems: the plain Fig. 8 rule puts stacks at segment
+    /// numbers 0–7, which this layout reserves for the supervisor (use
+    /// bare `ring-cpu` worlds to experiment with that rule).
+    pub stack_rule: StackRule,
+    /// Scheduler quantum in cycles.
+    pub quantum: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            phys_words: 2 * 1024 * 1024,
+            sdw_cache: ring_segmem::sdw_cache::SdwCache::DEFAULT_CAPACITY,
+            ea_rules: EffectiveRingRules::PAPER,
+            stack_rule: StackRule::DbrBase,
+            quantum: 5_000,
+        }
+    }
+}
+
+/// A booted system: machine plus supervisor state.
+pub struct System {
+    /// The processor and memory.
+    pub machine: Machine,
+    /// Shared supervisor state.
+    pub state: Rc<RefCell<OsState>>,
+    /// Shared physical allocator.
+    pub alloc: Rc<RefCell<PhysAllocator>>,
+    template: Vec<(u32, Sdw)>,
+}
+
+impl System {
+    /// Boots with default configuration.
+    pub fn boot() -> System {
+        System::boot_with(SystemConfig::default())
+    }
+
+    /// Boots with explicit configuration.
+    pub fn boot_with(cfg: SystemConfig) -> System {
+        let mconfig = MachineConfig {
+            stack_rule: cfg.stack_rule,
+            ea_rules: cfg.ea_rules,
+            sdw_cache: cfg.sdw_cache,
+            trap_segno: SegNo::new(segs::TRAP).expect("segno"),
+            trap_vector_base: 0,
+            trap_save_offset: 64,
+            ..MachineConfig::default()
+        };
+        let mut machine = Machine::new(cfg.phys_words, mconfig);
+        let mut alloc = PhysAllocator::new(0o100, cfg.phys_words as u32);
+
+        let mut template: Vec<(u32, Sdw)> = Vec::new();
+        let mut place = |alloc: &mut PhysAllocator, segno: u32, b: SdwBuilder| {
+            let probe = b.build();
+            let base = alloc
+                .alloc(probe.length_words())
+                .expect("supervisor layout");
+            let sdw = b.addr(base).build();
+            template.push((segno, sdw));
+        };
+
+        // The trap segment: vectors + save area; ring-0 only.
+        place(
+            &mut alloc,
+            segs::TRAP,
+            SdwBuilder::procedure(Ring::R0, Ring::R0, Ring::R0)
+                .write(true)
+                .bound_words(256),
+        );
+        // The hardcore gate segment: executes in ring 0, gates open
+        // through ring 5 ("procedures executing in rings 6 and 7 are
+        // not given access to supervisor gates").
+        place(
+            &mut alloc,
+            segs::HCS,
+            SdwBuilder::procedure(Ring::R0, Ring::R0, Ring::R5)
+                .gates(hcs::COUNT)
+                .bound_words(16),
+        );
+        // The ring-1 gate segment.
+        place(
+            &mut alloc,
+            segs::RING1,
+            SdwBuilder::procedure(Ring::R1, Ring::R1, Ring::R5)
+                .gates(ring1::COUNT)
+                .bound_words(16),
+        );
+        // Supervisor data, per layer.
+        place(
+            &mut alloc,
+            segs::SUP_DATA,
+            SdwBuilder::data(Ring::R0, Ring::R0).bound_words(1024),
+        );
+        place(
+            &mut alloc,
+            segs::RING1_DATA,
+            SdwBuilder::data(Ring::R1, Ring::R1).bound_words(1024),
+        );
+
+        let mut os = OsState::new();
+        os.quantum = cfg.quantum;
+        let state = Rc::new(RefCell::new(os));
+        let alloc = Rc::new(RefCell::new(alloc));
+
+        crate::traps::install(&mut machine, state.clone(), alloc.clone());
+        crate::gates::install(&mut machine, state.clone());
+
+        System {
+            machine,
+            state,
+            alloc,
+            template,
+        }
+    }
+
+    /// Registers a user.
+    pub fn add_user(&self, name: &str) {
+        self.state.borrow_mut().add_user(name);
+    }
+
+    /// Creates a stored segment in on-line storage (host-level; the
+    /// simulated way in is `hcs$set_acl` plus supervisor file-creation
+    /// gates, which this reproduction keeps host-side).
+    ///
+    /// # Panics
+    ///
+    /// Panics on storage errors — world-building is expected to be
+    /// well-formed.
+    pub fn create_segment(&self, path: &str, acl: Acl, data: Vec<Word>) -> SegmentId {
+        self.state
+            .borrow_mut()
+            .fs
+            .create_segment(path, acl, data)
+            .expect("create stored segment")
+    }
+
+    /// Logs `user` in: creates a process with a fresh virtual memory
+    /// (descriptor segment + supervisor template + per-ring stacks) and
+    /// returns its process id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when physical memory for the descriptor or stacks cannot
+    /// be allocated.
+    pub fn login(&mut self, user: &str) -> usize {
+        self.add_user(user);
+        let mut alloc = self.alloc.borrow_mut();
+        let desc_base = alloc
+            .alloc(2 * segs::DESCRIPTOR_SLOTS)
+            .expect("descriptor segment");
+        // Supervisor template.
+        for (segno, sdw) in &self.template {
+            Self::poke_sdw(&mut self.machine, desc_base, *segno, sdw);
+        }
+        // Per-ring stacks: read and write brackets end at ring r.
+        for r in Ring::all() {
+            let base = alloc.alloc(1024).expect("stack segment");
+            let sdw = SdwBuilder::data(r, r).addr(base).bound_words(1024).build();
+            Self::poke_sdw(
+                &mut self.machine,
+                desc_base,
+                segs::STACK_BASE + u32::from(r.number()),
+                &sdw,
+            );
+            self.machine
+                .phys_mut()
+                .poke(base, Word::new(u64::from(frame::FIRST_FRAME)))
+                .expect("stack header");
+        }
+        drop(alloc);
+        let mut st = self.state.borrow_mut();
+        st.processes.push(ProcessState::new(user, desc_base));
+        st.processes.len() - 1
+    }
+
+    /// Installs `sdw` at `segno` in process `pid`'s descriptor segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on bad segment numbers or physical faults.
+    pub fn install_sdw(&mut self, pid: usize, segno: u32, sdw: &Sdw) {
+        let desc_base = self.state.borrow().processes[pid].dbr.addr;
+        Self::poke_sdw(&mut self.machine, desc_base, segno, sdw);
+        self.machine.translator_mut().flush_cache();
+    }
+
+    fn poke_sdw(machine: &mut Machine, desc_base: AbsAddr, segno: u32, sdw: &Sdw) {
+        let base = desc_base.wrapping_add(2 * segno);
+        let (w0, w1) = sdw.pack();
+        machine.phys_mut().poke(base, w0).expect("descriptor poke");
+        machine
+            .phys_mut()
+            .poke(base.wrapping_add(1), w1)
+            .expect("descriptor poke");
+    }
+
+    /// Reads the SDW installed at `segno` for process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on physical faults.
+    pub fn read_sdw(&self, pid: usize, segno: u32) -> Sdw {
+        let desc_base = self.state.borrow().processes[pid].dbr.addr;
+        let base = desc_base.wrapping_add(2 * segno);
+        let w0 = self.machine.phys().peek(base).expect("descriptor peek");
+        let w1 = self
+            .machine
+            .phys()
+            .peek(base.wrapping_add(1))
+            .expect("descriptor peek");
+        Sdw::unpack(w0, w1)
+    }
+
+    /// Makes `pid` the current process and loads its DBR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid pid.
+    pub fn activate(&mut self, pid: usize) {
+        let dbr = self.state.borrow().processes[pid].dbr;
+        self.state.borrow_mut().current = pid;
+        self.machine.load_dbr(dbr);
+    }
+
+    /// Logs process `pid` out: it stops being schedulable. Its stored
+    /// segments and any shared images remain (on-line storage outlives
+    /// processes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid pid.
+    pub fn logout(&mut self, pid: usize) {
+        let mut st = self.state.borrow_mut();
+        st.processes[pid].aborted = Some("logout".to_string());
+        st.processes[pid].saved = None;
+    }
+
+    /// The supervisor statistics snapshot.
+    pub fn stats(&self) -> crate::state::SupervisorStats {
+        self.state.borrow().stats
+    }
+
+    /// What the typewriter on the standard channel has printed.
+    pub fn tty_printed(&self) -> String {
+        self.machine
+            .io()
+            .device(crate::services::TTY_CHANNEL as usize)
+            .printed()
+    }
+}

@@ -1,0 +1,48 @@
+//! A Multics-like operating-system substrate over the ring-protection
+//! hardware.
+//!
+//! The paper's mechanisms only matter in the context of a system that
+//! uses them; this crate supplies that system:
+//!
+//! * access control lists that feed SDW brackets ([`acl`]), on-line
+//!   storage ([`fs`]), users and per-process virtual memories
+//!   ([`process`], [`state`]);
+//! * a layered supervisor: ring-0 trap handling — demand segment
+//!   loading, demand paging, processor multiplexing, software-mediated
+//!   upward calls and downward returns ([`traps`]) — and gate services
+//!   in rings 0 and 1 ([`gates`], [`services`]);
+//! * user-constructed protected subsystems in ring 2 ([`subsystems`]);
+//! * staging and execution of real assembled user programs
+//!   ([`driver`]), plus the world builder ([`boot`]);
+//! * the comparison baselines of the evaluation: software-implemented
+//!   rings à la the Honeywell 645, Graham's 1967 partial hardware, and
+//!   a traditional two-mode supervisor/user machine ([`baseline`]).
+//!
+//! Supervisor bodies are **native procedures**: Rust closures installed
+//! behind ordinary gate segments (see `ring-cpu::native`); every
+//! reference they make on a caller's behalf goes through the machine's
+//! validated accessors, so the paper's argument-validation story is
+//! preserved end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod baseline;
+pub mod boot;
+pub mod conventions;
+pub mod driver;
+pub mod fs;
+pub mod gates;
+pub mod process;
+pub mod services;
+pub mod state;
+pub mod strings;
+pub mod subsystems;
+pub mod traps;
+
+pub use acl::{Acl, AclEntry, Modes};
+pub use boot::{System, SystemConfig};
+pub use driver::{gen_call_sequence, Staged};
+pub use fs::{FileSystem, SegmentId};
+pub use state::{AuditRecord, OsState, SupervisorStats};

@@ -1,0 +1,178 @@
+//! Shared operating-system state.
+//!
+//! Native supervisor procedures are closures registered with the
+//! machine; they share this state through `Rc<RefCell<OsState>>`.
+
+use std::collections::HashMap;
+
+use ring_core::registers::Ipr;
+use ring_core::ring::Ring;
+
+use crate::fs::FileSystem;
+use crate::process::ProcessState;
+
+/// A record written by the audit protected subsystem (rings 2–3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// User whose process made the audited reference.
+    pub user: String,
+    /// Ring the caller was executing in.
+    pub caller_ring: Ring,
+    /// Description of the audited operation.
+    pub operation: String,
+}
+
+/// Counters kept by the supervisor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SupervisorStats {
+    /// Segment faults serviced (demand segment loading).
+    pub segment_faults: u64,
+    /// Page faults serviced (demand paging).
+    pub page_faults: u64,
+    /// Software-mediated upward calls.
+    pub upward_calls: u64,
+    /// Software-mediated downward returns.
+    pub downward_returns: u64,
+    /// Downward returns refused (no matching return gate).
+    pub forged_returns_refused: u64,
+    /// Scheduler switches (timer runouts serviced).
+    pub schedules: u64,
+    /// I/O completions serviced.
+    pub io_completions: u64,
+    /// Gate invocations, by segment: (hcs, ring1).
+    pub gate_calls_hcs: u64,
+    /// Ring-1 gate invocations.
+    pub gate_calls_ring1: u64,
+    /// Processes aborted on unhandled faults.
+    pub aborts: u64,
+}
+
+/// The supervisor's in-memory state.
+pub struct OsState {
+    /// Registered user names.
+    pub users: Vec<String>,
+    /// On-line storage.
+    pub fs: FileSystem,
+    /// All processes, indexed by process id.
+    pub processes: Vec<ProcessState>,
+    /// Currently executing process.
+    pub current: usize,
+    /// The audit subsystem's log.
+    pub audit_log: Vec<AuditRecord>,
+    /// Per-user account balances (ring-1 accounting layer).
+    pub accounts: HashMap<String, i64>,
+    /// Supervisor counters.
+    pub stats: SupervisorStats,
+    /// Scheduler quantum in cycles (timer reload value).
+    pub quantum: u64,
+    /// Trace of scheduler decisions (process ids), for tests.
+    pub schedule_trace: Vec<usize>,
+}
+
+impl OsState {
+    /// Fresh state with no users or processes.
+    pub fn new() -> OsState {
+        OsState {
+            users: Vec::new(),
+            fs: FileSystem::new(),
+            processes: Vec::new(),
+            current: 0,
+            audit_log: Vec::new(),
+            accounts: HashMap::new(),
+            stats: SupervisorStats::default(),
+            quantum: 5_000,
+            schedule_trace: Vec::new(),
+        }
+    }
+
+    /// Registers a user name (idempotent) and opens an account.
+    pub fn add_user(&mut self, name: &str) {
+        if !self.users.iter().any(|u| u == name) {
+            self.users.push(name.to_string());
+            self.accounts.insert(name.to_string(), 0);
+        }
+    }
+
+    /// True if `name` is a registered user.
+    pub fn has_user(&self, name: &str) -> bool {
+        self.users.iter().any(|u| u == name)
+    }
+
+    /// The currently executing process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process exists yet.
+    pub fn current_process(&self) -> &ProcessState {
+        &self.processes[self.current]
+    }
+
+    /// Mutable access to the currently executing process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process exists yet.
+    pub fn current_process_mut(&mut self) -> &mut ProcessState {
+        let i = self.current;
+        &mut self.processes[i]
+    }
+
+    /// Pushes a dynamic return gate for the current process (software
+    /// upward-call bookkeeping).
+    pub fn push_return_gate(&mut self, caller_ring: Ring, continuation: Ipr) {
+        self.current_process_mut()
+            .return_gates
+            .push((caller_ring, continuation));
+    }
+
+    /// Pops the top return gate for the current process.
+    pub fn pop_return_gate(&mut self) -> Option<(Ring, Ipr)> {
+        self.current_process_mut().return_gates.pop()
+    }
+
+    /// The next runnable (non-aborted) process after `from`, if any.
+    pub fn next_runnable(&self, from: usize) -> Option<usize> {
+        let n = self.processes.len();
+        (1..=n)
+            .map(|k| (from + k) % n)
+            .find(|&i| self.processes[i].aborted.is_none())
+    }
+}
+
+impl Default for OsState {
+    fn default() -> Self {
+        OsState::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn users_are_deduplicated_with_accounts() {
+        let mut s = OsState::new();
+        s.add_user("alice");
+        s.add_user("alice");
+        assert_eq!(s.users.len(), 1);
+        assert!(s.has_user("alice"));
+        assert!(!s.has_user("bob"));
+        assert_eq!(s.accounts["alice"], 0);
+    }
+
+    #[test]
+    fn next_runnable_skips_aborted() {
+        let mut s = OsState::new();
+        for i in 0..3 {
+            s.processes
+                .push(ProcessState::new_for_test(&format!("u{i}")));
+        }
+        assert_eq!(s.next_runnable(0), Some(1));
+        s.processes[1].aborted = Some("boom".into());
+        assert_eq!(s.next_runnable(0), Some(2));
+        assert_eq!(s.next_runnable(2), Some(0));
+        s.processes[0].aborted = Some("x".into());
+        s.processes[2].aborted = Some("y".into());
+        assert_eq!(s.next_runnable(0), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Strings in simulated memory: one character per word, NUL-terminated.
+//!
+//! Gate arguments that name paths and users are passed as pointers to
+//! such strings; the supervisor reads them through the *validated*
+//! accessors, so a caller cannot name a string it could not itself
+//! read.
+
+use ring_core::access::Fault;
+use ring_core::registers::PtrReg;
+use ring_core::word::Word;
+use ring_cpu::machine::Machine;
+
+/// Longest string a gate will read (defence against unterminated
+/// buffers).
+pub const MAX_STRING: u32 = 256;
+
+/// Reads a NUL-terminated string at `ptr` with full access validation.
+///
+/// Propagates any access-violation fault the validated reads raise. A
+/// string with no terminator within [`MAX_STRING`] words is refused
+/// with [`Fault::IndirectLimit`] (the supervisor treats it as a bad
+/// argument).
+pub fn read_string(m: &mut Machine, ptr: PtrReg) -> Result<String, Fault> {
+    let mut out = String::new();
+    for i in 0..MAX_STRING {
+        let w = m.read_validated(PtrReg::new(
+            ptr.ring,
+            ring_core::addr::SegAddr::new(ptr.addr.segno, ptr.addr.wordno.wrapping_add(i)),
+        ))?;
+        let c = (w.raw() & 0x1ff) as u32;
+        if c == 0 {
+            return Ok(out);
+        }
+        out.push(char::from_u32(c & 0x7f).unwrap_or('?'));
+    }
+    Err(Fault::IndirectLimit)
+}
+
+/// Encodes `s` as words (one character per word) plus a NUL terminator.
+pub fn encode_string(s: &str) -> Vec<Word> {
+    s.bytes()
+        .map(|b| Word::new(u64::from(b)))
+        .chain(std::iter::once(Word::ZERO))
+        .collect()
+}
+
+/// Writes `s` (plus terminator) at `ptr` with full access validation.
+pub fn write_string(m: &mut Machine, ptr: PtrReg, s: &str) -> Result<(), Fault> {
+    for (i, w) in encode_string(s).into_iter().enumerate() {
+        m.write_validated(
+            PtrReg::new(
+                ptr.ring,
+                ring_core::addr::SegAddr::new(
+                    ptr.addr.segno,
+                    ptr.addr.wordno.wrapping_add(i as u32),
+                ),
+            ),
+            w,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_round_trips_ascii() {
+        let v = encode_string("hi");
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].raw(), u64::from(b'h'));
+        assert_eq!(v[2], Word::ZERO);
+    }
+
+    #[test]
+    fn encode_empty() {
+        assert_eq!(encode_string(""), vec![Word::ZERO]);
+    }
+}

@@ -1,0 +1,330 @@
+//! The ring-0 trap dispatcher.
+//!
+//! Installed as the native body of the trap segment; entered by the
+//! hardware at `vector` after it has forced ring 0 and saved the
+//! processor state. Handles:
+//!
+//! * **segment faults** — demand loading of initiated segments (memory
+//!   multiplexing, a ring-0 function in the paper's layering);
+//! * **page faults** — demand paging of large segments;
+//! * **timer runout** — processor multiplexing (round-robin);
+//! * **upward calls / downward returns** — the two ring crossings the
+//!   hardware hands to software, implemented with a per-process
+//!   push-down stack of dynamically created return gates;
+//! * **I/O completions**;
+//! * **derail `EXIT_CODE`** — orderly process exit;
+//! * everything else — process abort.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ring_core::access::{vector, Fault};
+use ring_core::addr::{SegAddr, SegNo};
+use ring_core::registers::Ipr;
+use ring_cpu::machine::Machine;
+use ring_cpu::native::NativeAction;
+use ring_segmem::layout::PhysAllocator;
+use ring_segmem::paging::{pages_for, Ptw, PAGE_WORDS};
+
+use crate::conventions::{segs, PR_RP};
+use crate::services::SMALL_SEGMENT_WORDS;
+use crate::state::OsState;
+
+/// The derail code user programs raise to exit cleanly.
+pub const EXIT_CODE: u32 = 0o777;
+
+/// Installs the trap dispatcher on the machine.
+pub fn install(
+    machine: &mut Machine,
+    state: Rc<RefCell<OsState>>,
+    alloc: Rc<RefCell<PhysAllocator>>,
+) {
+    machine.register_native(SegNo::new(segs::TRAP).expect("segno"), move |m, entry| {
+        let mut s = state.borrow_mut();
+        let mut a = alloc.borrow_mut();
+        dispatch(m, &mut s, &mut a, entry.value())
+    });
+}
+
+fn dispatch(
+    m: &mut Machine,
+    s: &mut OsState,
+    a: &mut PhysAllocator,
+    v: u32,
+) -> Result<NativeAction, Fault> {
+    match v {
+        vector::SEGMENT_FAULT => {
+            let (_, _, addr, _) = m.fault_info()?;
+            s.stats.segment_faults += 1;
+            match load_segment(m, s, a, addr.segno.value()) {
+                Ok(()) => Ok(NativeAction::Resume),
+                Err(reason) => abort_current(m, s, &reason),
+            }
+        }
+        vector::PAGE_FAULT => {
+            let (_, _, addr, _) = m.fault_info()?;
+            s.stats.page_faults += 1;
+            match load_page(m, s, a, addr) {
+                Ok(()) => Ok(NativeAction::Resume),
+                Err(reason) => abort_current(m, s, &reason),
+            }
+        }
+        vector::TIMER_RUNOUT => {
+            s.stats.schedules += 1;
+            schedule(m, s)
+        }
+        vector::IO_COMPLETION => {
+            s.stats.io_completions += 1;
+            Ok(NativeAction::Resume)
+        }
+        vector::UPWARD_CALL => {
+            s.stats.upward_calls += 1;
+            upward_call(m, s)
+        }
+        vector::DOWNWARD_RETURN => {
+            s.stats.downward_returns += 1;
+            downward_return(m, s)
+        }
+        vector::DERAIL => {
+            let (_, _, _, detail) = m.fault_info()?;
+            if detail.raw() as u32 == EXIT_CODE {
+                abort_current(m, s, "exit")
+            } else {
+                abort_current(m, s, &format!("derail {}", detail.raw()))
+            }
+        }
+        _ => {
+            let fault = m.last_fault();
+            abort_current(
+                m,
+                s,
+                &fault
+                    .map(|f| f.to_string())
+                    .unwrap_or_else(|| format!("vector {v}")),
+            )
+        }
+    }
+}
+
+/// Brings an initiated segment into memory (first reference).
+fn load_segment(
+    m: &mut Machine,
+    s: &mut OsState,
+    a: &mut PhysAllocator,
+    segno: u32,
+) -> Result<(), String> {
+    let entry = s
+        .current_process()
+        .lookup(segno)
+        .cloned()
+        .ok_or_else(|| format!("segment fault on unknown segment {segno}"))?;
+    let sn = SegNo::new(segno).expect("segno");
+    let mut sdw = m
+        .segment_descriptor(sn)
+        .map_err(|e| format!("descriptor read: {e}"))?;
+    // Shared segments: if another process (or this one, earlier)
+    // already brought the segment in, map the same storage.
+    if let Some(img) = s.fs.segment(entry.id).image {
+        sdw.addr = img.addr;
+        sdw.unpaged = img.unpaged;
+        sdw.present = true;
+        m.store_descriptor(sn, &sdw)
+            .map_err(|e| format!("descriptor write: {e}"))?;
+        s.current_process_mut()
+            .kst
+            .get_mut(&segno)
+            .expect("entry just looked up")
+            .loaded = true;
+        return Ok(());
+    }
+    let data = s.fs.segment(entry.id).data.clone();
+    if data.len() <= SMALL_SEGMENT_WORDS {
+        let words = sdw.length_words();
+        let base = a.alloc(words).map_err(|e| format!("out of memory: {e}"))?;
+        for (i, w) in data.iter().enumerate() {
+            m.phys_mut()
+                .poke(base.wrapping_add(i as u32), *w)
+                .map_err(|e| e.to_string())?;
+        }
+        sdw.addr = base;
+        sdw.unpaged = true;
+    } else {
+        let npages = pages_for(data.len() as u32);
+        let pt = a.alloc(npages).map_err(|e| format!("out of memory: {e}"))?;
+        for i in 0..npages {
+            m.phys_mut()
+                .poke(pt.wrapping_add(i), Ptw::MISSING.pack())
+                .map_err(|e| e.to_string())?;
+        }
+        sdw.addr = pt;
+        sdw.unpaged = false;
+    }
+    sdw.present = true;
+    m.store_descriptor(sn, &sdw)
+        .map_err(|e| format!("descriptor write: {e}"))?;
+    s.fs.segment_mut(entry.id).image = Some(crate::fs::LoadedImage {
+        addr: sdw.addr,
+        unpaged: sdw.unpaged,
+    });
+    s.current_process_mut()
+        .kst
+        .get_mut(&segno)
+        .expect("entry just looked up")
+        .loaded = true;
+    Ok(())
+}
+
+/// Brings one page of a paged segment into memory.
+fn load_page(
+    m: &mut Machine,
+    s: &mut OsState,
+    a: &mut PhysAllocator,
+    addr: SegAddr,
+) -> Result<(), String> {
+    let segno = addr.segno.value();
+    let entry = s
+        .current_process()
+        .lookup(segno)
+        .cloned()
+        .ok_or_else(|| format!("page fault on unknown segment {segno}"))?;
+    let sdw = m
+        .segment_descriptor(addr.segno)
+        .map_err(|e| format!("descriptor read: {e}"))?;
+    if sdw.unpaged {
+        return Err("page fault on unpaged segment".into());
+    }
+    let page = addr.wordno.value() / PAGE_WORDS;
+    let frame = a.alloc_frame().map_err(|e| format!("out of frames: {e}"))?;
+    let base = frame * PAGE_WORDS;
+    let data = &s.fs.segment(entry.id).data;
+    let lo = (page * PAGE_WORDS) as usize;
+    let hi = ((page + 1) * PAGE_WORDS) as usize;
+    for (i, w) in data
+        .iter()
+        .skip(lo)
+        .take(hi.saturating_sub(lo).min(data.len().saturating_sub(lo)))
+        .enumerate()
+    {
+        m.phys_mut()
+            .poke(
+                ring_core::addr::AbsAddr::from_bits(u64::from(base + i as u32)),
+                *w,
+            )
+            .map_err(|e| e.to_string())?;
+    }
+    let ptw = Ptw::present(frame).ok_or("frame number overflow")?;
+    m.phys_mut()
+        .poke(sdw.addr.wrapping_add(page), ptw.pack())
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Round-robin processor multiplexing on timer runout.
+fn schedule(m: &mut Machine, s: &mut OsState) -> Result<NativeAction, Fault> {
+    let cur = s.current;
+    let running = m.saved_state()?;
+    s.processes[cur].saved = Some(running);
+    // Next runnable process that has a saved state to resume.
+    let n = s.processes.len();
+    let next = (1..=n)
+        .map(|k| (cur + k) % n)
+        .find(|&i| s.processes[i].aborted.is_none() && s.processes[i].saved.is_some());
+    if let Some(next) = next {
+        s.current = next;
+        s.schedule_trace.push(next);
+        let dbr = s.processes[next].dbr;
+        let resume = s.processes[next].saved.take().expect("checked");
+        m.load_dbr(dbr);
+        m.set_saved_state(&resume)?;
+    } else {
+        s.processes[cur].saved = None;
+    }
+    let quantum = s.quantum;
+    m.set_timer(Some(quantum));
+    Ok(NativeAction::Resume)
+}
+
+/// Software-mediated upward call: validate the target, push a dynamic
+/// return gate, and enter the higher ring.
+fn upward_call(m: &mut Machine, s: &mut OsState) -> Result<NativeAction, Fault> {
+    let (_, eff_ring, target, _) = m.fault_info()?;
+    let mut state = m.saved_state()?;
+    let sdw = match m.segment_descriptor(target.segno) {
+        Ok(s) => s,
+        Err(_) => return abort_current(m, s, "upward call: bad target segment"),
+    };
+    // Software validation mirroring Fig. 8: the target must be
+    // executable, entered at a gate, and genuinely above the caller.
+    if !sdw.execute || !sdw.in_bounds(target.wordno) {
+        return abort_current(m, s, "upward call: target not executable");
+    }
+    if !sdw.is_gate(target.wordno) {
+        return abort_current(m, s, "upward call: not a gate");
+    }
+    let new_ring = sdw.r1;
+    if new_ring <= eff_ring {
+        return abort_current(m, s, "upward call: not actually upward");
+    }
+    // The caller's declared return point (PR2) becomes the dynamic
+    // return gate; the saved IPR is the CALL itself.
+    let caller_ring = state.ipr.ring;
+    let continuation = Ipr::new(caller_ring, state.prs[PR_RP].addr);
+    s.push_return_gate(caller_ring, continuation);
+    // Enter the higher ring: floor every PR ring, as a hardware upward
+    // switch would.
+    state.ipr = Ipr::new(new_ring, target);
+    for pr in state.prs.iter_mut() {
+        *pr = pr.with_ring_floor(new_ring);
+    }
+    m.set_saved_state(&state)?;
+    Ok(NativeAction::Resume)
+}
+
+/// Software-mediated downward return: verify against the top return
+/// gate and restore the caller's ring.
+fn downward_return(m: &mut Machine, s: &mut OsState) -> Result<NativeAction, Fault> {
+    let (_, _, target, _) = m.fault_info()?;
+    let Some((gate_ring, continuation)) = s.pop_return_gate() else {
+        s.stats.forged_returns_refused += 1;
+        return abort_current(m, s, "downward return with no return gate");
+    };
+    // The returning procedure must name exactly the continuation the
+    // upward call recorded ("the intervening software verifies the
+    // restored stack pointer register value").
+    if target != continuation.addr {
+        s.stats.forged_returns_refused += 1;
+        s.current_process_mut()
+            .return_gates
+            .push((gate_ring, continuation));
+        return abort_current(m, s, "downward return to wrong continuation");
+    }
+    let mut state = m.saved_state()?;
+    state.ipr = Ipr::new(gate_ring, continuation.addr);
+    m.set_saved_state(&state)?;
+    Ok(NativeAction::Resume)
+}
+
+/// Aborts the current process; switches to another runnable process or
+/// halts the machine if none remains.
+fn abort_current(m: &mut Machine, s: &mut OsState, reason: &str) -> Result<NativeAction, Fault> {
+    if reason != "exit" {
+        s.stats.aborts += 1;
+    }
+    let cur = s.current;
+    s.processes[cur].aborted = Some(reason.to_string());
+    let n = s.processes.len();
+    let next = (1..=n)
+        .map(|k| (cur + k) % n)
+        .find(|&i| s.processes[i].aborted.is_none() && s.processes[i].saved.is_some());
+    if let Some(next) = next {
+        s.current = next;
+        s.schedule_trace.push(next);
+        let dbr = s.processes[next].dbr;
+        let resume = s.processes[next].saved.take().expect("checked");
+        m.load_dbr(dbr);
+        m.set_saved_state(&resume)?;
+        Ok(NativeAction::Resume)
+    } else {
+        Ok(NativeAction::Halt)
+    }
+}

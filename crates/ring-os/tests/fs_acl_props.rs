@@ -1,0 +1,122 @@
+//! Property tests of the storage hierarchy and access control lists.
+
+use proptest::prelude::*;
+use ring_core::ring::Ring;
+use ring_os::acl::{Acl, AclEntry, Modes};
+use ring_os::fs::{FileSystem, FsError};
+
+fn arb_component() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}".prop_map(|s| s)
+}
+
+fn arb_path() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(arb_component(), 1..5)
+}
+
+proptest! {
+    /// Every created segment resolves back to its own id, and its
+    /// recorded path matches.
+    #[test]
+    fn created_paths_resolve(paths in proptest::collection::vec(arb_path(), 1..20)) {
+        let mut fs = FileSystem::new();
+        let mut created = Vec::new();
+        for p in &paths {
+            let path = p.join(">");
+            match fs.create_segment(&path, Acl::new(), vec![]) {
+                Ok(id) => created.push((path, id)),
+                // Collisions with earlier paths (same name, or a
+                // directory/segment conflict) are legitimate refusals.
+                Err(FsError::Exists(_)) | Err(FsError::NotADirectory(_)) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            }
+        }
+        for (path, id) in created {
+            prop_assert_eq!(fs.resolve(&path).unwrap(), id);
+            prop_assert_eq!(&fs.segment(id).path, &path);
+        }
+    }
+
+    /// Resolution never succeeds for a path that was not created (and
+    /// is not a directory of one).
+    #[test]
+    fn unknown_paths_fail(p1 in arb_path(), p2 in arb_path()) {
+        prop_assume!(p1 != p2);
+        let mut fs = FileSystem::new();
+        fs.create_segment(&p1.join(">"), Acl::new(), vec![]).unwrap();
+        let other = p2.join(">");
+        if other != p1.join(">") {
+            prop_assert!(fs.resolve(&other).is_err());
+        }
+    }
+
+    /// Search-step accounting is monotone: every resolve adds at least
+    /// one scanned entry per component.
+    #[test]
+    fn search_steps_are_monotone(p in arb_path()) {
+        let mut fs = FileSystem::new();
+        let path = p.join(">");
+        fs.create_segment(&path, Acl::new(), vec![]).unwrap();
+        let before = fs.search_steps;
+        fs.resolve(&path).unwrap();
+        prop_assert!(fs.search_steps >= before + p.len() as u64);
+    }
+
+    /// ACL precedence: an exact entry ahead of the wildcard wins; a
+    /// wildcard matches everyone else; entries added under the
+    /// sole-occupant rule never carry brackets below the setter's ring.
+    #[test]
+    fn acl_precedence_and_sole_occupant(
+        users in proptest::collection::vec("[a-z]{1,5}", 1..6),
+        setter in 0u8..8,
+        granted in 0u8..8,
+    ) {
+        let setter_ring = Ring::new(setter).unwrap();
+        let g = Ring::new(granted).unwrap();
+        let mut acl = Acl::new();
+        let entry = AclEntry::new(&users[0], Modes::RW, (g, g, g), 0).unwrap();
+        let res = acl.set(entry, setter_ring);
+        if granted < setter {
+            prop_assert!(res.is_err(), "sole occupant must refuse");
+            prop_assert!(acl.lookup(&users[0]).is_none());
+        } else {
+            prop_assert!(res.is_ok());
+            prop_assert_eq!(acl.lookup(&users[0]).unwrap().rings.0, g);
+            // Wildcard after: other users hit the wildcard.
+            let wild = AclEntry::new("*", Modes::R, (Ring::R7, Ring::R7, Ring::R7), 0).unwrap();
+            acl.set(wild, setter_ring).unwrap();
+            for u in users.iter().skip(1) {
+                if u != &users[0] {
+                    prop_assert_eq!(&acl.lookup(u).unwrap().user, "*");
+                }
+            }
+        }
+    }
+
+    /// AclEntry::apply produces an SDW whose brackets equal the entry's.
+    #[test]
+    fn acl_entry_applies_exactly(
+        r1 in 0u8..8,
+        d2 in 0u8..8,
+        d3 in 0u8..8,
+        gates in 0u32..100,
+        flags in any::<[bool; 3]>(),
+    ) {
+        let a = Ring::new(r1).unwrap();
+        let b = Ring::new((r1 + d2).min(7)).unwrap();
+        let c = Ring::new((r1 + d2 + d3).min(7)).unwrap();
+        let entry = AclEntry::new(
+            "u",
+            Modes { read: flags[0], write: flags[1], execute: flags[2] },
+            (a, b, c),
+            gates,
+        ).unwrap();
+        let sdw = entry.apply(ring_core::sdw::SdwBuilder::new()).build();
+        prop_assert_eq!(sdw.r1, a);
+        prop_assert_eq!(sdw.r2, b);
+        prop_assert_eq!(sdw.r3, c);
+        prop_assert_eq!(sdw.read, flags[0]);
+        prop_assert_eq!(sdw.write, flags[1]);
+        prop_assert_eq!(sdw.execute, flags[2]);
+        prop_assert_eq!(sdw.gate, gates);
+    }
+}

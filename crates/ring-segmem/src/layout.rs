@@ -1,0 +1,111 @@
+//! Physical-memory layout: a simple allocator for world building.
+//!
+//! The supervisor substrate and the test/bench fixtures need to place
+//! descriptor segments, page tables and segment bodies in physical
+//! memory. This bump allocator hands out word-aligned and page-aligned
+//! regions; it is deliberately simple (no free), since simulated worlds
+//! are built once and then run.
+
+use ring_core::access::Fault;
+use ring_core::addr::AbsAddr;
+
+use crate::paging::PAGE_WORDS;
+
+/// A bump allocator over a physical memory range.
+#[derive(Clone, Debug)]
+pub struct PhysAllocator {
+    next: u32,
+    limit: u32,
+}
+
+impl PhysAllocator {
+    /// Creates an allocator over `[start, limit)` (word addresses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > limit` or `limit` exceeds the 24-bit address
+    /// space.
+    pub fn new(start: u32, limit: u32) -> PhysAllocator {
+        assert!(start <= limit && limit <= (1 << 24), "bad allocator range");
+        PhysAllocator { next: start, limit }
+    }
+
+    /// Allocates `words` contiguous words.
+    pub fn alloc(&mut self, words: u32) -> Result<AbsAddr, Fault> {
+        let base = self.next;
+        let end = base.checked_add(words).filter(|&e| e <= self.limit);
+        match end {
+            Some(e) => {
+                self.next = e;
+                Ok(AbsAddr::from_bits(u64::from(base)))
+            }
+            None => Err(Fault::PhysicalBounds { abs: self.limit }),
+        }
+    }
+
+    /// Allocates one page-aligned page and returns its frame number.
+    pub fn alloc_frame(&mut self) -> Result<u32, Fault> {
+        let aligned = self.next.div_ceil(PAGE_WORDS) * PAGE_WORDS;
+        let end = aligned.checked_add(PAGE_WORDS).filter(|&e| e <= self.limit);
+        match end {
+            Some(e) => {
+                self.next = e;
+                Ok(aligned / PAGE_WORDS)
+            }
+            None => Err(Fault::PhysicalBounds { abs: self.limit }),
+        }
+    }
+
+    /// Words not yet allocated.
+    pub fn remaining(&self) -> u32 {
+        self.limit - self.next
+    }
+
+    /// The next address that would be handed out.
+    pub fn watermark(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_allocation() {
+        let mut a = PhysAllocator::new(0o100, 0o200);
+        assert_eq!(a.alloc(8).unwrap().value(), 0o100);
+        assert_eq!(a.alloc(8).unwrap().value(), 0o110);
+        assert_eq!(a.remaining(), 0o200 - 0o120);
+    }
+
+    #[test]
+    fn exhaustion_faults() {
+        let mut a = PhysAllocator::new(0, 10);
+        assert!(a.alloc(10).is_ok());
+        assert!(a.alloc(1).is_err());
+    }
+
+    #[test]
+    fn frames_are_page_aligned() {
+        let mut a = PhysAllocator::new(100, 8 * 1024);
+        let f = a.alloc_frame().unwrap();
+        assert_eq!(f, 1, "first frame rounds up past word 100");
+        let f2 = a.alloc_frame().unwrap();
+        assert_eq!(f2, 2);
+    }
+
+    #[test]
+    fn frame_exhaustion_faults() {
+        let mut a = PhysAllocator::new(0, 1024);
+        assert!(a.alloc_frame().is_ok());
+        assert!(a.alloc_frame().is_err());
+    }
+
+    #[test]
+    fn zero_word_allocation_is_fine() {
+        let mut a = PhysAllocator::new(5, 5);
+        assert_eq!(a.alloc(0).unwrap().value(), 5);
+        assert!(a.alloc(1).is_err());
+    }
+}

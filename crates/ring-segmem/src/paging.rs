@@ -1,0 +1,158 @@
+//! Page tables.
+//!
+//! Storage for segments is usually allocated with a paging scheme in
+//! scattered fixed-length blocks; the paper notes that paging, if
+//! appropriately implemented, is totally transparent to machine-language
+//! programs and need not affect access control. This module provides the
+//! page-table words (PTWs) the translation logic walks for paged
+//! segments, so the simulator can demonstrate exactly that transparency
+//! (and so the supervisor substrate has real page faults to handle).
+//!
+//! A page is 1024 words; an 18-bit word number therefore splits into an
+//! 8-bit page number and a 10-bit offset, and a segment has at most 256
+//! pages.
+//!
+//! # PTW layout (one 36-bit word)
+//!
+//! ```text
+//! FRAME[0..14]  PRESENT[14]  MODIFIED[15]  USED[16]
+//! ```
+//!
+//! `FRAME` is the physical frame number: the page's absolute base
+//! address is `FRAME * 1024`.
+
+use ring_core::addr::{AbsAddr, WordNo};
+use ring_core::word::Word;
+
+/// Words per page.
+pub const PAGE_WORDS: u32 = 1024;
+/// log2 of the page size.
+pub const PAGE_SHIFT: u32 = 10;
+/// Maximum pages per segment (18-bit word numbers).
+pub const MAX_PAGES: u32 = 1 << (18 - PAGE_SHIFT);
+/// Width of the frame-number field.
+pub const FRAME_BITS: u32 = 14;
+
+/// A decoded page-table word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Ptw {
+    /// Physical frame number (page base = `frame << 10`).
+    pub frame: u32,
+    /// Present bit; off ⇒ page fault on reference.
+    pub present: bool,
+    /// Set by the hardware when the page is written (for the
+    /// supervisor's page-replacement policy).
+    pub modified: bool,
+    /// Set by the hardware on any reference (usage bit).
+    pub used: bool,
+}
+
+impl Ptw {
+    /// Creates a present PTW for `frame`.
+    ///
+    /// Returns `None` if `frame` exceeds the 14-bit field.
+    pub fn present(frame: u32) -> Option<Ptw> {
+        if frame >= (1 << FRAME_BITS) {
+            return None;
+        }
+        Some(Ptw {
+            frame,
+            present: true,
+            modified: false,
+            used: false,
+        })
+    }
+
+    /// A missing page (all fields zero, present off).
+    pub const MISSING: Ptw = Ptw {
+        frame: 0,
+        present: false,
+        modified: false,
+        used: false,
+    };
+
+    /// Absolute base address of the frame.
+    pub fn frame_base(self) -> AbsAddr {
+        AbsAddr::from_bits(u64::from(self.frame) << PAGE_SHIFT)
+    }
+
+    /// Encodes into the one-word storage form.
+    pub fn pack(self) -> Word {
+        Word::ZERO
+            .with_field(0, FRAME_BITS, u64::from(self.frame))
+            .with_bit(14, self.present)
+            .with_bit(15, self.modified)
+            .with_bit(16, self.used)
+    }
+
+    /// Decodes from the one-word storage form.
+    pub fn unpack(w: Word) -> Ptw {
+        Ptw {
+            frame: w.field(0, FRAME_BITS) as u32,
+            present: w.bit(14),
+            modified: w.bit(15),
+            used: w.bit(16),
+        }
+    }
+}
+
+/// Splits a word number into (page number, offset within page).
+#[inline]
+pub fn split_wordno(wordno: WordNo) -> (u32, u32) {
+    (
+        wordno.value() >> PAGE_SHIFT,
+        wordno.value() & (PAGE_WORDS - 1),
+    )
+}
+
+/// Number of pages needed to hold `words` words.
+#[inline]
+pub fn pages_for(words: u32) -> u32 {
+    words.div_ceil(PAGE_WORDS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptw_pack_round_trip() {
+        let p = Ptw {
+            frame: 0o12345,
+            present: true,
+            modified: true,
+            used: false,
+        };
+        assert_eq!(Ptw::unpack(p.pack()), p);
+        assert_eq!(Ptw::unpack(Ptw::MISSING.pack()), Ptw::MISSING);
+    }
+
+    #[test]
+    fn frame_bounds() {
+        assert!(Ptw::present((1 << 14) - 1).is_some());
+        assert!(Ptw::present(1 << 14).is_none());
+    }
+
+    #[test]
+    fn frame_base_is_page_aligned() {
+        let p = Ptw::present(3).unwrap();
+        assert_eq!(p.frame_base().value(), 3 * 1024);
+    }
+
+    #[test]
+    fn wordno_split() {
+        let w = WordNo::new(5 * 1024 + 17).unwrap();
+        assert_eq!(split_wordno(w), (5, 17));
+        assert_eq!(split_wordno(WordNo::ZERO), (0, 0));
+        let last = WordNo::new((1 << 18) - 1).unwrap();
+        assert_eq!(split_wordno(last), (255, 1023));
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(1024), 1);
+        assert_eq!(pages_for(1025), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Physical (absolute-addressed) memory.
+//!
+//! A flat array of 36-bit words addressed by 24-bit absolute address.
+//! All descriptor segments, page tables, and segment bodies live here;
+//! the processor reaches it only through address translation
+//! ([`crate::translate`]).
+
+use ring_core::access::Fault;
+use ring_core::addr::AbsAddr;
+use ring_core::word::Word;
+
+/// Physical memory: up to 2^24 36-bit words.
+///
+/// Reads and writes are bounds-checked against the configured size and
+/// counted, so callers can convert physical traffic into simulated
+/// cycles.
+#[derive(Clone)]
+pub struct PhysMem {
+    words: Vec<Word>,
+    reads: u64,
+    writes: u64,
+}
+
+impl PhysMem {
+    /// Maximum addressable size in words (24-bit absolute addresses).
+    pub const MAX_WORDS: usize = 1 << 24;
+
+    /// Creates a zeroed memory of `words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` exceeds [`PhysMem::MAX_WORDS`].
+    pub fn new(words: usize) -> PhysMem {
+        assert!(words <= Self::MAX_WORDS, "physical memory too large");
+        PhysMem {
+            words: vec![Word::ZERO; words],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Size in words.
+    pub fn size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads the word at `addr`.
+    pub fn read(&mut self, addr: AbsAddr) -> Result<Word, Fault> {
+        self.reads += 1;
+        self.words
+            .get(addr.value() as usize)
+            .copied()
+            .ok_or(Fault::PhysicalBounds { abs: addr.value() })
+    }
+
+    /// Writes the word at `addr`.
+    pub fn write(&mut self, addr: AbsAddr, value: Word) -> Result<(), Fault> {
+        self.writes += 1;
+        match self.words.get_mut(addr.value() as usize) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(Fault::PhysicalBounds { abs: addr.value() }),
+        }
+    }
+
+    /// Reads without disturbing the traffic counters (for debuggers,
+    /// trace printers and tests that must not perturb cycle counts).
+    pub fn peek(&self, addr: AbsAddr) -> Result<Word, Fault> {
+        self.words
+            .get(addr.value() as usize)
+            .copied()
+            .ok_or(Fault::PhysicalBounds { abs: addr.value() })
+    }
+
+    /// Writes without disturbing the traffic counters (world-building).
+    pub fn poke(&mut self, addr: AbsAddr, value: Word) -> Result<(), Fault> {
+        match self.words.get_mut(addr.value() as usize) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(Fault::PhysicalBounds { abs: addr.value() }),
+        }
+    }
+
+    /// Total counted reads since construction.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total counted writes since construction.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total counted references (reads + writes).
+    pub fn ref_count(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl core::fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PhysMem")
+            .field("size", &self.words.len())
+            .field("reads", &self.reads)
+            .field("writes", &self.writes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = PhysMem::new(64);
+        let a = AbsAddr::new(10).unwrap();
+        m.write(a, Word::new(0o123)).unwrap();
+        assert_eq!(m.read(a).unwrap(), Word::new(0o123));
+    }
+
+    #[test]
+    fn out_of_range_reference_faults() {
+        let mut m = PhysMem::new(16);
+        let a = AbsAddr::new(16).unwrap();
+        assert!(matches!(m.read(a), Err(Fault::PhysicalBounds { abs: 16 })));
+        assert!(matches!(
+            m.write(a, Word::ZERO),
+            Err(Fault::PhysicalBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let mut m = PhysMem::new(16);
+        let a = AbsAddr::new(0).unwrap();
+        m.read(a).unwrap();
+        m.read(a).unwrap();
+        m.write(a, Word::ZERO).unwrap();
+        assert_eq!(m.read_count(), 2);
+        assert_eq!(m.write_count(), 1);
+        assert_eq!(m.ref_count(), 3);
+    }
+
+    #[test]
+    fn peek_poke_do_not_count() {
+        let mut m = PhysMem::new(16);
+        let a = AbsAddr::new(1).unwrap();
+        m.poke(a, Word::new(7)).unwrap();
+        assert_eq!(m.peek(a).unwrap(), Word::new(7));
+        assert_eq!(m.ref_count(), 0);
+    }
+
+    #[test]
+    fn memory_starts_zeroed() {
+        let m = PhysMem::new(8);
+        for i in 0..8 {
+            assert_eq!(m.peek(AbsAddr::new(i).unwrap()).unwrap(), Word::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_memory_rejected() {
+        let _ = PhysMem::new(PhysMem::MAX_WORDS + 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! The SDW associative memory (descriptor cache).
+//!
+//! Address translation requires the SDW of the referenced segment on
+//! every virtual-memory reference; fetching it from the descriptor
+//! segment costs two physical references. Like the real 645/6180
+//! processors, the simulator keeps a small associative memory of
+//! recently used SDWs. Loading the DBR — switching virtual memories —
+//! flushes it, which is precisely what makes the software-ring baseline
+//! (one descriptor segment per ring, DBR switch on every ring crossing)
+//! expensive; experiment T5 sweeps the cache size to measure this.
+
+use ring_core::addr::SegNo;
+use ring_core::sdw::Sdw;
+
+/// Hit/miss/flush statistics for the associative memory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied by the cache.
+    pub hits: u64,
+    /// Lookups that had to walk the descriptor segment.
+    pub misses: u64,
+    /// Full flushes (DBR loads).
+    pub flushes: u64,
+    /// Single-entry invalidations (supervisor SDW updates).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when there were no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fully associative SDW cache with round-robin replacement.
+///
+/// Capacity 0 disables caching (every lookup misses), which models the
+/// original 645's lack of a descriptor cache.
+#[derive(Clone, Debug)]
+pub struct SdwCache {
+    entries: Vec<Option<(SegNo, Sdw)>>,
+    next_victim: usize,
+    stats: CacheStats,
+}
+
+impl SdwCache {
+    /// The 16-entry configuration of the modelled processor.
+    pub const DEFAULT_CAPACITY: usize = 16;
+
+    /// Creates a cache with `capacity` entries.
+    pub fn new(capacity: usize) -> SdwCache {
+        SdwCache {
+            entries: vec![None; capacity],
+            next_victim: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up the SDW for `segno`, updating hit/miss statistics.
+    pub fn lookup(&mut self, segno: SegNo) -> Option<Sdw> {
+        match self
+            .entries
+            .iter()
+            .flatten()
+            .find(|(s, _)| *s == segno)
+            .map(|(_, sdw)| *sdw)
+        {
+            Some(sdw) => {
+                self.stats.hits += 1;
+                Some(sdw)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs an SDW fetched from the descriptor segment, evicting the
+    /// round-robin victim if the cache is full.
+    pub fn insert(&mut self, segno: SegNo, sdw: Sdw) {
+        if self.entries.is_empty() {
+            return;
+        }
+        // Replace an existing entry for the same segment, else the first
+        // free slot, else the round-robin victim.
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|e| matches!(e, Some((s, _)) if *s == segno))
+        {
+            *slot = Some((segno, sdw));
+            return;
+        }
+        if let Some(slot) = self.entries.iter_mut().find(|e| e.is_none()) {
+            *slot = Some((segno, sdw));
+            return;
+        }
+        let victim = self.next_victim;
+        self.entries[victim] = Some((segno, sdw));
+        self.next_victim = (victim + 1) % self.entries.len();
+    }
+
+    /// Flushes every entry (performed by a DBR load).
+    pub fn flush(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+        self.next_victim = 0;
+        self.stats.flushes += 1;
+    }
+
+    /// Invalidates the entry for one segment (performed when the
+    /// supervisor rewrites an SDW so the change is immediately
+    /// effective, as the paper requires).
+    pub fn invalidate(&mut self, segno: SegNo) {
+        for e in self.entries.iter_mut() {
+            if matches!(e, Some((s, _)) if *s == segno) {
+                *e = None;
+            }
+        }
+        self.stats.invalidations += 1;
+    }
+
+    /// Returns the accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears the accumulated statistics (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_core::ring::Ring;
+    use ring_core::sdw::SdwBuilder;
+
+    fn seg(n: u32) -> SegNo {
+        SegNo::new(n).unwrap()
+    }
+
+    fn sdw(tag: u32) -> Sdw {
+        SdwBuilder::data(Ring::R4, Ring::R4).bound(tag).build()
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = SdwCache::new(4);
+        assert!(c.lookup(seg(1)).is_none());
+        c.insert(seg(1), sdw(7));
+        assert_eq!(c.lookup(seg(1)).unwrap().bound, 7);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = SdwCache::new(2);
+        c.insert(seg(1), sdw(1));
+        c.insert(seg(2), sdw(2));
+        c.insert(seg(1), sdw(10));
+        assert_eq!(c.lookup(seg(1)).unwrap().bound, 10);
+        assert_eq!(c.lookup(seg(2)).unwrap().bound, 2);
+    }
+
+    #[test]
+    fn round_robin_eviction() {
+        let mut c = SdwCache::new(2);
+        c.insert(seg(1), sdw(1));
+        c.insert(seg(2), sdw(2));
+        c.insert(seg(3), sdw(3)); // evicts slot 0 (seg 1)
+        assert!(c.lookup(seg(1)).is_none());
+        assert!(c.lookup(seg(2)).is_some());
+        assert!(c.lookup(seg(3)).is_some());
+        c.insert(seg(4), sdw(4)); // evicts slot 1 (seg 2)
+        assert!(c.lookup(seg(2)).is_none());
+        assert!(c.lookup(seg(3)).is_some());
+    }
+
+    #[test]
+    fn flush_empties_and_counts() {
+        let mut c = SdwCache::new(4);
+        c.insert(seg(1), sdw(1));
+        c.flush();
+        assert!(c.lookup(seg(1)).is_none());
+        assert_eq!(c.stats().flushes, 1);
+    }
+
+    #[test]
+    fn invalidate_is_selective() {
+        let mut c = SdwCache::new(4);
+        c.insert(seg(1), sdw(1));
+        c.insert(seg(2), sdw(2));
+        c.invalidate(seg(1));
+        assert!(c.lookup(seg(1)).is_none());
+        assert!(c.lookup(seg(2)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut c = SdwCache::new(0);
+        c.insert(seg(1), sdw(1));
+        assert!(c.lookup(seg(1)).is_none());
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut c = SdwCache::new(2);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+        c.insert(seg(1), sdw(1));
+        c.lookup(seg(1));
+        c.lookup(seg(2));
+        assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests of translation: installed descriptors round-trip,
+//! paging is transparent, and the SDW cache never changes outcomes —
+//! only costs.
+
+use proptest::prelude::*;
+use ring_core::access::AccessMode;
+use ring_core::addr::{AbsAddr, SegAddr, SegNo};
+use ring_core::registers::Dbr;
+use ring_core::ring::Ring;
+use ring_core::sdw::{Sdw, SdwBuilder};
+use ring_core::word::Word;
+use ring_segmem::paging::{Ptw, PAGE_WORDS};
+use ring_segmem::phys::PhysMem;
+use ring_segmem::translate::Translator;
+
+const DESC_BASE: u32 = 0o100;
+const SLOTS: u32 = 16;
+
+fn world() -> (PhysMem, Dbr) {
+    let phys = PhysMem::new(256 * 1024);
+    let dbr = Dbr::new(
+        AbsAddr::new(DESC_BASE).unwrap(),
+        SLOTS,
+        SegNo::new(8).unwrap(),
+    );
+    (phys, dbr)
+}
+
+fn install(phys: &mut PhysMem, segno: u32, sdw: &Sdw) {
+    let base = AbsAddr::new(DESC_BASE + 2 * segno).unwrap();
+    let (w0, w1) = sdw.pack();
+    phys.poke(base, w0).unwrap();
+    phys.poke(base.wrapping_add(1), w1).unwrap();
+}
+
+proptest! {
+    /// Whatever SDW the supervisor installs is what translation sees.
+    #[test]
+    fn installed_sdw_is_fetched(
+        segno in 0u32..SLOTS,
+        r1 in 0u8..8,
+        span in 0u8..8,
+        bound in 0u32..64,
+        flags in any::<[bool; 3]>(),
+    ) {
+        let (mut phys, dbr) = world();
+        let mut tr = Translator::new(4);
+        let top = (r1 + span).min(7);
+        let sdw = SdwBuilder::new()
+            .rings(
+                Ring::new(r1.min(top)).unwrap(),
+                Ring::new(top).unwrap(),
+                Ring::new(top).unwrap(),
+            )
+            .read(flags[0])
+            .write(flags[1])
+            .execute(flags[2])
+            .bound(bound)
+            .addr(AbsAddr::new(0o10000).unwrap())
+            .build();
+        install(&mut phys, segno, &sdw);
+        let addr = SegAddr::from_parts(segno, 0).unwrap();
+        let got = tr.fetch_sdw(&mut phys, &dbr, addr, AccessMode::Read).unwrap();
+        prop_assert_eq!(got, sdw);
+        // And again through the cache.
+        let got2 = tr.fetch_sdw(&mut phys, &dbr, addr, AccessMode::Read).unwrap();
+        prop_assert_eq!(got2, sdw);
+        prop_assert_eq!(tr.cache_stats().hits, 1);
+    }
+
+    /// Paging is transparent: writing then reading through a paged
+    /// segment returns the written words at the right offsets.
+    #[test]
+    fn paging_is_transparent(
+        offsets in proptest::collection::vec(0u32..(4 * PAGE_WORDS), 1..20),
+    ) {
+        let (mut phys, dbr) = world();
+        let mut tr = Translator::new(8);
+        // A 4-page segment with frames 16..20 pre-wired.
+        let pt = AbsAddr::new(0o20000).unwrap();
+        for p in 0..4u32 {
+            phys.poke(pt.wrapping_add(p), Ptw::present(16 + p).unwrap().pack())
+                .unwrap();
+        }
+        let sdw = SdwBuilder::data(Ring::R4, Ring::R4)
+            .unpaged(false)
+            .addr(pt)
+            .bound_words(4 * PAGE_WORDS)
+            .build();
+        install(&mut phys, 3, &sdw);
+        let sdw = tr
+            .fetch_sdw(&mut phys, &dbr, SegAddr::from_parts(3, 0).unwrap(), AccessMode::Read)
+            .unwrap();
+        for (i, &off) in offsets.iter().enumerate() {
+            let addr = SegAddr::from_parts(3, off).unwrap();
+            let abs = tr.resolve(&mut phys, &sdw, addr, true).unwrap();
+            phys.write(abs, Word::new(i as u64 + 1)).unwrap();
+        }
+        // Re-read in reverse; the LAST write to an offset wins.
+        let mut expect = std::collections::HashMap::new();
+        for (i, &off) in offsets.iter().enumerate() {
+            expect.insert(off, i as u64 + 1);
+        }
+        for (&off, &v) in &expect {
+            let addr = SegAddr::from_parts(3, off).unwrap();
+            let abs = tr.resolve(&mut phys, &sdw, addr, false).unwrap();
+            prop_assert_eq!(phys.read(abs).unwrap().raw(), v);
+        }
+        // Used bits were set on every touched page.
+        for p in offsets.iter().map(|o| o / PAGE_WORDS) {
+            let ptw = Ptw::unpack(phys.peek(pt.wrapping_add(p)).unwrap());
+            prop_assert!(ptw.used && ptw.modified);
+        }
+    }
+
+    /// The SDW cache is semantically invisible: a random sequence of
+    /// descriptor fetches yields identical SDWs with and without it.
+    #[test]
+    fn cache_is_transparent(
+        accesses in proptest::collection::vec((0u32..SLOTS, any::<bool>()), 1..60),
+    ) {
+        let build = |cache: usize| -> Vec<Result<Sdw, ring_core::access::Fault>> {
+            let (mut phys, dbr) = world();
+            let mut tr = Translator::new(cache);
+            // Install a distinct SDW per slot.
+            for s in 0..SLOTS {
+                let sdw = SdwBuilder::data(Ring::R4, Ring::R4)
+                    .bound(s)
+                    .addr(AbsAddr::new(0o10000 + 0o100 * s).unwrap())
+                    .build();
+                install(&mut phys, s, &sdw);
+            }
+            accesses
+                .iter()
+                .map(|&(s, update)| {
+                    if update {
+                        // Supervisor narrows the segment mid-stream.
+                        let new = SdwBuilder::data(Ring::R4, Ring::R4)
+                            .bound(s + 100)
+                            .addr(AbsAddr::new(0o10000 + 0o100 * s).unwrap())
+                            .build();
+                        tr.store_sdw(&mut phys, &dbr, SegNo::new(s).unwrap(), &new)
+                            .unwrap();
+                    }
+                    tr.fetch_sdw(
+                        &mut phys,
+                        &dbr,
+                        SegAddr::from_parts(s, 0).unwrap(),
+                        AccessMode::Read,
+                    )
+                })
+                .collect()
+        };
+        let uncached = build(0);
+        let cached = build(16);
+        prop_assert_eq!(uncached, cached);
+    }
+
+    /// Bump allocation never hands out overlapping regions.
+    #[test]
+    fn allocator_regions_are_disjoint(sizes in proptest::collection::vec(1u32..200, 1..30)) {
+        let mut alloc = ring_segmem::layout::PhysAllocator::new(0, 1 << 16);
+        let mut prev_end = 0u32;
+        for s in sizes {
+            match alloc.alloc(s) {
+                Ok(base) => {
+                    prop_assert!(base.value() >= prev_end);
+                    prev_end = base.value() + s;
+                }
+                Err(_) => break, // exhausted: fine
+            }
+        }
+    }
+}

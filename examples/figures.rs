@@ -1,0 +1,8 @@
+//! Regenerates the paper's nine figures as decision tables computed by
+//! the implementation (see `EXPERIMENTS.md`).
+//!
+//! Run with: `cargo run --example figures`
+
+fn main() {
+    print!("{}", ring_bench::figures::all_figures());
+}

@@ -1,0 +1,87 @@
+//! Quickstart: boot a system, log in, and watch a ring-4 program make a
+//! protected supervisor call through a hardware gate — with no trap.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use multiring::core::ring::Ring;
+use multiring::core::word::Word;
+use multiring::os::acl::{Acl, AclEntry, Modes};
+use multiring::os::conventions::{hcs, segs};
+use multiring::os::strings::encode_string;
+use multiring::os::System;
+
+fn main() {
+    // 1. Boot: machine + layered supervisor (ring-0 trap handlers and
+    //    gates, ring-1 services), then log a user in. Login builds the
+    //    process's own virtual memory: a descriptor segment with the
+    //    supervisor template plus eight per-ring stacks.
+    let mut sys = System::boot();
+    let pid = sys.login("alice");
+    println!("booted; alice is process {pid}");
+
+    // 2. Create a stored segment alice may read and write (ACL entry ->
+    //    SDW brackets at initiation).
+    let acl =
+        Acl::single(AclEntry::new("alice", Modes::RW, (Ring::R4, Ring::R4, Ring::R4), 0).unwrap());
+    let payload: Vec<Word> = (0..16).map(|i| Word::new(100 + i)).collect();
+    sys.create_segment("udd>alice>notes", acl, payload);
+
+    // 3. A ring-4 program, in real machine code, that calls the
+    //    hcs$initiate gate and then reads the newly mapped segment.
+    //    The CALL switches ring 4 -> ring 0 in hardware; the RETURN
+    //    switches back; the first reference demand-loads the segment
+    //    via a segment fault.
+    let mut data = encode_string("udd>alice>notes");
+    data.resize(128, Word::ZERO);
+    let scratch = sys.install_data(pid, Ring::R4, Ring::R4, &data, 128);
+    let program = format!(
+        "
+        eap pr4, scratchp,*
+        eap pr1, args           ; argument list
+        eap pr2, ret0           ; return point
+        eap pr3, gatep,*        ; the supervisor gate
+        call pr3|0              ; ring 4 -> ring 0, no trap
+ret0:   tnz fail
+        lda pr4|100             ; segno returned by initiate
+        als 18
+        ora =7                  ; word 7 of the new segment
+        sta pr4|110
+        stz pr4|111
+        lda pr4|110,*           ; segment fault -> demand load -> word
+        sta pr4|101
+fail:   drl 0o777               ; exit
+gatep:  its 4, {hcs_seg}, {init}
+scratchp: its 4, {sc}, 0
+args:   its 4, {sc}, 0
+        its 4, {sc}, 100
+",
+        hcs_seg = segs::HCS,
+        init = hcs::INITIATE,
+        sc = scratch.segno,
+    );
+    let code = sys.install_code(pid, Ring::R4, Ring::R4, 0, &program);
+
+    sys.machine.enable_trace(256);
+    let exit = sys.run_user(pid, code.segno, 0, Ring::R4, 10_000);
+    println!("run exited: {exit:?}");
+
+    for ev in sys.machine.take_trace() {
+        match ev {
+            multiring::cpu::TraceEvent::Call { .. }
+            | multiring::cpu::TraceEvent::Return { .. }
+            | multiring::cpu::TraceEvent::Trap { .. }
+            | multiring::cpu::TraceEvent::Native { .. } => println!("  {ev}"),
+            _ => {}
+        }
+    }
+
+    let sdw = sys.read_sdw(pid, scratch.segno);
+    let read_back = sys.machine.phys().peek(sdw.addr.wrapping_add(101)).unwrap();
+    println!("word 7 of the demand-loaded segment = {}", read_back.raw());
+    let st = sys.stats();
+    println!(
+        "supervisor stats: {} gate call(s), {} segment fault(s), crossing traps: 0 by design",
+        st.gate_calls_hcs, st.segment_faults
+    );
+    assert_eq!(read_back.raw(), 107);
+}

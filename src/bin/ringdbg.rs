@@ -1,0 +1,223 @@
+//! `ringdbg` — an interactive monitor for the ring-protection
+//! simulator (a front panel with a disassembler).
+//!
+//! ```text
+//! ringdbg <file.rasm> [--ring N]
+//! ```
+//!
+//! Commands (also `help` at the prompt):
+//!
+//! ```text
+//! s [n]        step n instructions (default 1), printing each
+//! r            print registers
+//! g [n]        run up to n instructions (default 100000)
+//! d <w> [n]    disassemble n words of the code segment at word w
+//! m <s> <w> [n]  dump n words of segment s at word w
+//! b <w>        toggle a breakpoint at code word w
+//! q            quit
+//! ```
+
+use std::io::{BufRead, Write as _};
+use std::process::ExitCode;
+
+use multiring::asm::disassemble_word;
+use multiring::core::addr::SegNo;
+use multiring::core::ring::Ring;
+use multiring::core::sdw::SdwBuilder;
+use multiring::cpu::machine::StepOutcome;
+use multiring::cpu::native::NativeAction;
+use multiring::cpu::testkit::World;
+
+const CODE_SEG: u32 = 10;
+
+fn print_regs(w: &World) {
+    let m = &w.machine;
+    println!(
+        "IPR ring {} at {}   A={:0>12o} Q={:0>12o}",
+        m.ring(),
+        m.ipr().addr,
+        m.a().raw(),
+        m.q().raw()
+    );
+    for n in 0..8 {
+        let pr = m.pr(n);
+        print!("PR{n}={}^{} ", pr.addr, pr.ring);
+        if n == 3 {
+            println!();
+        }
+    }
+    println!();
+    print!("X: ");
+    for n in 0..8 {
+        print!("{} ", m.xreg(n));
+    }
+    println!("  cycles={} instrs={}", m.cycles(), m.stats().instructions);
+}
+
+fn print_instr_at(w: &World) {
+    let ipr = w.machine.ipr();
+    if ipr.addr.segno.value() == CODE_SEG {
+        let word = w.peek(ipr.addr.segno, ipr.addr.wordno.value());
+        println!(
+            "  next: {}|{}: {}",
+            ipr.addr.segno,
+            ipr.addr.wordno,
+            disassemble_word(word)
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(file) = args.next() else {
+        eprintln!("usage: ringdbg <file.rasm> [--ring N]");
+        return ExitCode::FAILURE;
+    };
+    let ring = match (args.next().as_deref(), args.next()) {
+        (Some("--ring"), Some(n)) => match n.parse::<u8>().ok().and_then(Ring::new) {
+            Some(r) => r,
+            None => {
+                eprintln!("--ring takes 0..=7");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => Ring::R4,
+    };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let image = match multiring::asm::assemble(&source) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut world = World::new();
+    let code = world.add_segment(
+        CODE_SEG,
+        SdwBuilder::procedure(ring, ring, Ring::R7)
+            .gates(4)
+            .bound_words(image.len().max(16)),
+    );
+    world.add_segment(11, SdwBuilder::data(ring, ring).bound_words(1024));
+    world.add_standard_stacks(16);
+    let trap = world.add_trap_segment();
+    world.machine.register_native(trap, |m, vector| {
+        if let Some(f) = m.last_fault() {
+            println!("  ** trap (vector {}): {f}", vector.value());
+        }
+        Ok(NativeAction::Halt)
+    });
+    for (i, w) in image.words.iter().enumerate() {
+        world.poke(code, i as u32, *w);
+    }
+    world.start(ring, code, 0);
+    println!(
+        "loaded {} words into segment {CODE_SEG}; ring {ring}",
+        image.len()
+    );
+    print_instr_at(&world);
+
+    let mut breakpoints: Vec<u32> = Vec::new();
+    let stdin = std::io::stdin();
+    loop {
+        print!("ringdbg> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => {}
+            ["q"] | ["quit"] => break,
+            ["help"] | ["h"] => {
+                println!("s [n] step | r regs | g [n] run | d <w> [n] disasm");
+                println!("m <s> <w> [n] memory | seg <s> descriptor | b <w> breakpoint | q quit");
+            }
+            ["r"] => print_regs(&world),
+            ["s", rest @ ..] => {
+                let n: u64 = rest.first().and_then(|v| v.parse().ok()).unwrap_or(1);
+                for _ in 0..n {
+                    match world.machine.step() {
+                        StepOutcome::Ran => {}
+                        StepOutcome::Trapped(f) => println!("  trapped: {f}"),
+                        StepOutcome::Halted => {
+                            println!("  halted");
+                            break;
+                        }
+                    }
+                    print_instr_at(&world);
+                }
+            }
+            ["g", rest @ ..] => {
+                let n: u64 = rest.first().and_then(|v| v.parse().ok()).unwrap_or(100_000);
+                let mut ran = 0;
+                for _ in 0..n {
+                    let at = world.machine.ipr().addr;
+                    if at.segno.value() == CODE_SEG && breakpoints.contains(&at.wordno.value()) {
+                        println!("  breakpoint at {at}");
+                        break;
+                    }
+                    match world.machine.step() {
+                        StepOutcome::Ran | StepOutcome::Trapped(_) => ran += 1,
+                        StepOutcome::Halted => {
+                            println!("  halted after {ran} instructions");
+                            break;
+                        }
+                    }
+                }
+                print_instr_at(&world);
+            }
+            ["d", at, rest @ ..] => {
+                let at: u32 = at.parse().unwrap_or(0);
+                let n: u32 = rest.first().and_then(|v| v.parse().ok()).unwrap_or(8);
+                for i in at..(at + n).min(image.len().max(at + n)) {
+                    let w = world.peek(code, i);
+                    println!("{i:6}  {:0>12o}  {}", w.raw(), disassemble_word(w));
+                }
+            }
+            ["m", s, at, rest @ ..] => {
+                let (Ok(s), Ok(at)) = (s.parse::<u32>(), at.parse::<u32>()) else {
+                    println!("  m <segno> <wordno> [n]");
+                    continue;
+                };
+                let n: u32 = rest.first().and_then(|v| v.parse().ok()).unwrap_or(8);
+                match SegNo::new(s) {
+                    Some(seg) => {
+                        for i in at..at + n {
+                            let w = world.peek(seg, i);
+                            println!("{s}|{i:<6}  {:0>12o}", w.raw());
+                        }
+                    }
+                    None => println!("  bad segment number"),
+                }
+            }
+            ["seg", n] => match n.parse::<u32>() {
+                Ok(n) if n < 64 => {
+                    let sdw = world.read_sdw(n);
+                    println!("  segment {n}: {sdw}");
+                }
+                _ => println!("  seg <segno 0..63>"),
+            },
+            ["b", at] => {
+                let at: u32 = at.parse().unwrap_or(0);
+                if let Some(pos) = breakpoints.iter().position(|&b| b == at) {
+                    breakpoints.remove(pos);
+                    println!("  cleared breakpoint at {at}");
+                } else {
+                    breakpoints.push(at);
+                    println!("  set breakpoint at {at}");
+                }
+            }
+            other => println!("  unknown command {other:?} (try help)"),
+        }
+    }
+    ExitCode::SUCCESS
+}

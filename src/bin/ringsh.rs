@@ -1,0 +1,279 @@
+//! `ringsh` — an interactive shell over the booted system: create
+//! users and stored segments, stage and run ring-4 programs, watch the
+//! supervisor work.
+//!
+//! ```text
+//! $ cargo run --bin ringsh
+//! ring> login alice
+//! ring> create udd>alice>notes 1 2 3 4
+//! ring> asm examples/asm/fibonacci.rasm
+//! ring> run 64
+//! ring> stats
+//! ```
+//!
+//! Commands (also `help` at the prompt):
+//!
+//! ```text
+//! login <user>             create a process for <user> and switch to it
+//! create <path> [w...]     create a stored segment (user gets RW at ring 4)
+//! share <path> <user> <r|rw|re>   add an ACL entry for another user
+//! asm <file.rasm>          assemble a file into the current process
+//! run <segno> [entry]      run the current process from segno|entry
+//! cat <path>               print a stored segment's first words
+//! ps                       list processes
+//! stats                    supervisor + machine statistics
+//! tty                      show what the typewriter has printed
+//! audit                    show the audit subsystem log
+//! quit
+//! ```
+
+use std::io::{BufRead, Write as _};
+use std::process::ExitCode;
+
+use multiring::core::ring::Ring;
+use multiring::core::word::Word;
+use multiring::os::acl::{Acl, AclEntry, Modes};
+use multiring::os::System;
+
+struct Shell {
+    sys: System,
+    current: Option<usize>,
+}
+
+impl Shell {
+    fn need_login(&self) -> Option<usize> {
+        if self.current.is_none() {
+            println!("  no process: `login <user>` first");
+        }
+        self.current
+    }
+
+    fn cmd(&mut self, parts: &[&str]) -> bool {
+        match parts {
+            [] => {}
+            ["quit"] | ["q"] | ["exit"] => return false,
+            ["help"] | ["h"] => {
+                println!("login <user> | create <path> [words...] | share <path> <user> <r|rw|re>");
+                println!("asm <file> | run <segno> [entry] | cat <path> | ps | logout | stats | tty | audit | quit");
+            }
+            ["login", user] => {
+                let pid = self.sys.login(user);
+                // A scratch data segment at segno 11, matching the
+                // convention the shipped .rasm samples use.
+                let base = self
+                    .sys
+                    .alloc
+                    .borrow_mut()
+                    .alloc(1024)
+                    .expect("scratch storage");
+                let sdw = multiring::core::sdw::SdwBuilder::data(Ring::R4, Ring::R4)
+                    .addr(base)
+                    .bound_words(1024)
+                    .build();
+                self.sys.install_sdw(pid, 11, &sdw);
+                self.current = Some(pid);
+                println!("  {user} is process {pid} (now current; scratch data at segment 11)");
+            }
+            ["create", path, words @ ..] => {
+                let Some(pid) = self.need_login() else {
+                    return true;
+                };
+                let user = self.sys.state.borrow().processes[pid].user.clone();
+                let acl = Acl::single(
+                    AclEntry::new(&user, Modes::RW, (Ring::R4, Ring::R4, Ring::R4), 0)
+                        .expect("rings ordered"),
+                );
+                let data: Vec<Word> = words
+                    .iter()
+                    .map(|w| Word::new(w.parse::<u64>().unwrap_or(0)))
+                    .collect();
+                match self
+                    .sys
+                    .state
+                    .borrow_mut()
+                    .fs
+                    .create_segment(path, acl, data)
+                {
+                    Ok(id) => println!("  created {path} (stored id {})", id.0),
+                    Err(e) => println!("  {e}"),
+                }
+            }
+            ["share", path, user, modes] => {
+                let Some(_) = self.need_login() else {
+                    return true;
+                };
+                let m = match *modes {
+                    "r" => Modes::R,
+                    "rw" => Modes::RW,
+                    "re" => Modes::RE,
+                    other => {
+                        println!("  unknown mode `{other}` (r|rw|re)");
+                        return true;
+                    }
+                };
+                let entry = AclEntry::new(user, m, (Ring::R4, Ring::R4, Ring::R4), 0)
+                    .expect("rings ordered");
+                let mut st = self.sys.state.borrow_mut();
+                match st.fs.resolve(path) {
+                    Ok(id) => match st.fs.segment_mut(id).acl.set(entry, Ring::R4) {
+                        Ok(()) => println!("  {user} now has {modes} on {path}"),
+                        Err(e) => println!("  refused: {e}"),
+                    },
+                    Err(e) => println!("  {e}"),
+                }
+            }
+            ["asm", file] => {
+                let Some(pid) = self.need_login() else {
+                    return true;
+                };
+                match std::fs::read_to_string(file) {
+                    Ok(src) => {
+                        // Give programs a scratch data segment first so
+                        // `its 4, <data>, ...` conventions can use it.
+                        let staged = self.sys.install_code(pid, Ring::R4, Ring::R4, 0, &src);
+                        println!("  staged at segment {} (labels: {})", staged.segno, {
+                            let mut names: Vec<&str> =
+                                staged.symbols.keys().map(|s| s.as_str()).collect();
+                            names.sort_unstable();
+                            names.join(", ")
+                        });
+                    }
+                    Err(e) => println!("  cannot read {file}: {e}"),
+                }
+            }
+            ["run", segno, rest @ ..] => {
+                let Some(pid) = self.need_login() else {
+                    return true;
+                };
+                let Ok(segno) = segno.parse::<u32>() else {
+                    println!("  run <segno> [entry]");
+                    return true;
+                };
+                let entry: u32 = rest.first().and_then(|v| v.parse().ok()).unwrap_or(0);
+                // A fresh run clears a previous exit.
+                self.sys.state.borrow_mut().processes[pid].aborted = None;
+                let exit = self.sys.run_user(pid, segno, entry, Ring::R4, 200_000);
+                let m = &self.sys.machine;
+                println!(
+                    "  {exit:?}: A={:o} Q={:o} cycles={}",
+                    m.a().raw(),
+                    m.q().raw(),
+                    m.cycles()
+                );
+                if let Some(reason) = &self.sys.state.borrow().processes[pid].aborted {
+                    if reason != "exit" {
+                        println!("  process stopped: {reason}");
+                    }
+                }
+            }
+            ["cat", path] => {
+                let mut st = self.sys.state.borrow_mut();
+                match st.fs.resolve(path) {
+                    Ok(id) => {
+                        let seg = st.fs.segment(id);
+                        let words: Vec<String> = seg
+                            .data
+                            .iter()
+                            .take(8)
+                            .map(|w| format!("{:o}", w.raw()))
+                            .collect();
+                        println!(
+                            "  {} words; first: {} {}",
+                            seg.data.len(),
+                            words.join(" "),
+                            if seg.image.is_some() {
+                                "(in memory)"
+                            } else {
+                                ""
+                            }
+                        );
+                    }
+                    Err(e) => println!("  {e}"),
+                }
+            }
+            ["logout"] => {
+                if let Some(pid) = self.current {
+                    self.sys.logout(pid);
+                    self.current = None;
+                    println!("  process {pid} logged out");
+                } else {
+                    println!("  no current process");
+                }
+            }
+            ["ps"] => {
+                let st = self.sys.state.borrow();
+                for (i, p) in st.processes.iter().enumerate() {
+                    println!(
+                        "  {i}: {} segs={} state={}{}",
+                        p.user,
+                        p.kst.len(),
+                        p.aborted.as_deref().unwrap_or("runnable"),
+                        if Some(i) == self.current {
+                            "  *current*"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                if st.processes.is_empty() {
+                    println!("  (no processes)");
+                }
+            }
+            ["stats"] => {
+                let s = self.sys.stats();
+                let m = self.sys.machine.stats();
+                println!(
+                    "  machine: {} instrs, {} cycles, {} traps ({} down-calls, {} up-returns in hardware)",
+                    m.instructions,
+                    self.sys.machine.cycles(),
+                    m.traps,
+                    m.calls_downward,
+                    m.returns_upward
+                );
+                println!(
+                    "  supervisor: {} hcs calls, {} ring-1 calls, {} seg faults, {} page faults, {} schedules",
+                    s.gate_calls_hcs, s.gate_calls_ring1, s.segment_faults, s.page_faults, s.schedules
+                );
+            }
+            ["tty"] => {
+                println!("  typewriter: {:?}", self.sys.tty_printed());
+            }
+            ["audit"] => {
+                let st = self.sys.state.borrow();
+                for rec in &st.audit_log {
+                    println!(
+                        "  {} (ring {}): {}",
+                        rec.user, rec.caller_ring, rec.operation
+                    );
+                }
+                if st.audit_log.is_empty() {
+                    println!("  (empty)");
+                }
+            }
+            other => println!("  unknown command {other:?} (try help)"),
+        }
+        true
+    }
+}
+
+fn main() -> ExitCode {
+    println!("multiring shell — `help` for commands");
+    let mut shell = Shell {
+        sys: System::boot(),
+        current: None,
+    };
+    let stdin = std::io::stdin();
+    loop {
+        print!("ring> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if !shell.cmd(&parts) {
+            break;
+        }
+    }
+    ExitCode::SUCCESS
+}

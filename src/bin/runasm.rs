@@ -1,0 +1,143 @@
+//! `runasm` — assemble and run a program on the ring-protection
+//! simulator.
+//!
+//! ```text
+//! runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm]
+//! ```
+//!
+//! The program is loaded into segment 10 of a bare world (standard
+//! per-ring stacks at segments 48–55, a data segment at 11, a trap
+//! segment that halts on any fault) and executed in the chosen ring
+//! (default 4). Exit with `drl 0o777`. `--disasm` prints the assembled
+//! image instead of running.
+
+use std::process::ExitCode;
+
+use multiring::core::access::Fault;
+use multiring::core::ring::Ring;
+use multiring::core::sdw::SdwBuilder;
+use multiring::cpu::native::NativeAction;
+use multiring::cpu::testkit::World;
+
+struct Options {
+    file: String,
+    ring: u8,
+    budget: u64,
+    trace: bool,
+    disasm: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        file: String::new(),
+        ring: 4,
+        budget: 100_000,
+        trace: false,
+        disasm: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ring" => {
+                opts.ring = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r < 8)
+                    .ok_or("--ring takes a number 0..=7")?;
+            }
+            "--budget" => {
+                opts.budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--budget takes an instruction count")?;
+            }
+            "--trace" => opts.trace = true,
+            "--disasm" => opts.disasm = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm]"
+                        .to_string(),
+                )
+            }
+            f if !f.starts_with('-') && opts.file.is_empty() => opts.file = f.to_string(),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.file.is_empty() {
+        return Err("no input file (try --help)".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let image = match multiring::asm::assemble(&source) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.disasm {
+        print!("{}", image.dump());
+        return ExitCode::SUCCESS;
+    }
+
+    let ring = Ring::new(opts.ring).expect("checked");
+    let mut world = World::new();
+    let code = world.add_segment(
+        10,
+        SdwBuilder::procedure(ring, ring, Ring::R7)
+            .gates(4)
+            .bound_words(image.len().max(16)),
+    );
+    world.add_segment(11, SdwBuilder::data(ring, ring).bound_words(1024));
+    world.add_standard_stacks(16);
+    let trap = world.add_trap_segment();
+    world.machine.register_native(trap, |m, vector| {
+        if let Some(f) = m.last_fault() {
+            if !matches!(f, Fault::Derail { code: 0o777 }) {
+                eprintln!("trap (vector {}): {f}", vector.value());
+            }
+        }
+        Ok(NativeAction::Halt)
+    });
+    for (i, w) in image.words.iter().enumerate() {
+        world.poke(code, i as u32, *w);
+    }
+    if opts.trace {
+        world.machine.enable_trace(4096);
+    }
+    world.start(ring, code, 0);
+    let exit = world.machine.run(opts.budget);
+
+    if opts.trace {
+        for ev in world.machine.take_trace() {
+            println!("{ev}");
+        }
+    }
+    let m = &world.machine;
+    println!(
+        "exit: {exit:?}  ring {}  A={:o} Q={:o}  cycles={}  instructions={}",
+        m.ring(),
+        m.a().raw(),
+        m.q().raw(),
+        m.cycles(),
+        m.stats().instructions
+    );
+    ExitCode::SUCCESS
+}

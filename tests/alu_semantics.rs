@@ -1,0 +1,225 @@
+//! Property tests of the instruction semantics through the full
+//! pipeline: every ALU/data op on random operands matches its 36-bit
+//! reference semantics.
+
+use multiring::core::registers::PtrReg;
+use multiring::core::ring::Ring;
+use multiring::core::sdw::SdwBuilder;
+use multiring::core::word::{Word, WORD_MASK};
+use multiring::core::SegAddr;
+use multiring::cpu::isa::{Instr, Opcode};
+use multiring::cpu::machine::StepOutcome;
+use multiring::cpu::native::NativeAction;
+use multiring::cpu::testkit::{addr, World};
+use proptest::prelude::*;
+
+/// Runs `prog` in a world where data[0] = `a` and data[1] = `b`
+/// (PR1 -> data), stepping `prog.len()` instructions; returns (A, Q,
+/// data[2]).
+fn run(prog: &[Instr], a: u64, b: u64) -> (u64, u64, u64) {
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(64),
+    );
+    let data = w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.poke(data, 0, Word::new(a));
+    w.poke(data, 1, Word::new(b));
+    for (i, &ins) in prog.iter().enumerate() {
+        w.poke_instr(code, i as u32, ins);
+    }
+    w.start(Ring::R4, code, 0);
+    w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(11, 0)));
+    for _ in 0..prog.len() {
+        assert_eq!(w.machine.step(), StepOutcome::Ran);
+    }
+    (
+        w.machine.a().raw(),
+        w.machine.q().raw(),
+        w.peek(data, 2).raw(),
+    )
+}
+
+fn lda() -> Instr {
+    Instr::pr_relative(Opcode::Lda, 1, 0)
+}
+
+fn op_b(op: Opcode) -> Instr {
+    Instr::pr_relative(op, 1, 1)
+}
+
+fn sta2() -> Instr {
+    Instr::pr_relative(Opcode::Sta, 1, 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_sub_mul_match_reference(a in 0u64..=WORD_MASK, b in 0u64..=WORD_MASK) {
+        let (r, _, m) = run(&[lda(), op_b(Opcode::Ada), sta2()], a, b);
+        prop_assert_eq!(r, a.wrapping_add(b) & WORD_MASK);
+        prop_assert_eq!(m, r, "store wrote the result");
+
+        let (r, _, _) = run(&[lda(), op_b(Opcode::Sba)], a, b);
+        prop_assert_eq!(r, a.wrapping_sub(b) & WORD_MASK);
+
+        let (r, _, _) = run(&[lda(), op_b(Opcode::Mpy)], a, b);
+        prop_assert_eq!(r, a.wrapping_mul(b) & WORD_MASK);
+    }
+
+    #[test]
+    fn logic_ops_match_reference(a in 0u64..=WORD_MASK, b in 0u64..=WORD_MASK) {
+        let (r, _, _) = run(&[lda(), op_b(Opcode::Ana)], a, b);
+        prop_assert_eq!(r, a & b);
+        let (r, _, _) = run(&[lda(), op_b(Opcode::Ora)], a, b);
+        prop_assert_eq!(r, a | b);
+        let (r, _, _) = run(&[lda(), op_b(Opcode::Era)], a, b);
+        prop_assert_eq!(r, a ^ b);
+    }
+
+    #[test]
+    fn q_register_ops_match_reference(a in 0u64..=WORD_MASK, b in 0u64..=WORD_MASK) {
+        let (_, q, _) = run(
+            &[Instr::pr_relative(Opcode::Ldq, 1, 0), op_b(Opcode::Adq)],
+            a,
+            b,
+        );
+        prop_assert_eq!(q, a.wrapping_add(b) & WORD_MASK);
+        let (_, q, _) = run(
+            &[Instr::pr_relative(Opcode::Ldq, 1, 0), op_b(Opcode::Sbq)],
+            a,
+            b,
+        );
+        prop_assert_eq!(q, a.wrapping_sub(b) & WORD_MASK);
+    }
+
+    #[test]
+    fn neg_and_shifts_match_reference(a in 0u64..=WORD_MASK, sh in 0u32..36) {
+        let (r, _, _) = run(&[lda(), Instr::direct(Opcode::Neg, 0)], a, 0);
+        prop_assert_eq!(r, (a as i64).wrapping_neg() as u64 & WORD_MASK);
+
+        let (r, _, _) = run(&[lda(), Instr::direct(Opcode::Als, sh)], a, 0);
+        prop_assert_eq!(r, (a << sh) & WORD_MASK);
+        let (r, _, _) = run(&[lda(), Instr::direct(Opcode::Ars, sh)], a, 0);
+        prop_assert_eq!(r, a >> sh);
+    }
+
+    #[test]
+    fn cmpa_preserves_a_and_sets_indicators(a in 0u64..=WORD_MASK, b in 0u64..=WORD_MASK) {
+        // CMPA then a conditional transfer: the branch goes exactly
+        // where A-b says.
+        let mut w = World::new();
+        let code = w.add_segment(
+            10,
+            SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(64),
+        );
+        let data = w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+        let trap = w.add_trap_segment();
+        w.machine.register_native(trap, |_, _| Ok(NativeAction::Halt));
+        w.poke(data, 0, Word::new(a));
+        w.poke(data, 1, Word::new(b));
+        w.poke_instr(code, 0, lda());
+        w.poke_instr(code, 1, op_b(Opcode::Cmpa));
+        w.poke_instr(code, 2, Instr::direct(Opcode::Tze, 20));
+        w.start(Ring::R4, code, 0);
+        w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(11, 0)));
+        for _ in 0..3 {
+            prop_assert_eq!(w.machine.step(), StepOutcome::Ran);
+        }
+        prop_assert_eq!(w.machine.a().raw(), a, "CMPA leaves A intact");
+        let went = w.machine.ipr().addr.wordno.value();
+        if a == b {
+            prop_assert_eq!(went, 20, "equal -> TZE taken");
+        } else {
+            prop_assert_eq!(went, 3, "unequal -> fall through");
+        }
+    }
+
+    #[test]
+    fn ldx_stx_truncate_to_18_bits(a in 0u64..=WORD_MASK) {
+        let (_, _, m) = run(
+            &[
+                Instr::pr_relative(Opcode::Ldx, 1, 0).with_xreg(3),
+                Instr::pr_relative(Opcode::Stx, 1, 2).with_xreg(3),
+            ],
+            a,
+            0,
+        );
+        prop_assert_eq!(m, a & 0o777777);
+    }
+
+    #[test]
+    fn aos_increments_mod_2_36(a in 0u64..=WORD_MASK) {
+        let mut w = World::new();
+        let code = w.add_segment(
+            10,
+            SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+        );
+        let data = w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+        let trap = w.add_trap_segment();
+        w.machine.register_native(trap, |_, _| Ok(NativeAction::Halt));
+        w.poke(data, 0, Word::new(a));
+        w.poke_instr(code, 0, Instr::pr_relative(Opcode::Aos, 1, 0));
+        w.start(Ring::R4, code, 0);
+        w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(11, 0)));
+        prop_assert_eq!(w.machine.step(), StepOutcome::Ran);
+        prop_assert_eq!(w.peek(data, 0).raw(), a.wrapping_add(1) & WORD_MASK);
+    }
+
+    /// EAA puts the effective word number (not the operand) into A.
+    #[test]
+    fn eaa_yields_effective_wordno(off in 0u32..4096, x in 0u32..4096) {
+        let mut w = World::new();
+        let code = w.add_segment(
+            10,
+            SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+        );
+        let trap = w.add_trap_segment();
+        w.machine.register_native(trap, |_, _| Ok(NativeAction::Halt));
+        w.poke_instr(code, 0, Instr::direct(Opcode::Eaa, off).with_index(2));
+        w.start(Ring::R4, code, 0);
+        w.machine.set_xreg(2, x);
+        prop_assert_eq!(w.machine.step(), StepOutcome::Ran);
+        prop_assert_eq!(w.machine.a().raw(), u64::from(off + x));
+    }
+}
+
+/// SPRI/EAP round trip at the pipeline level: store a pointer register
+/// as an ITS pair, reload it through EAP with indirection, and get the
+/// same address with the folded ring.
+#[test]
+fn spri_eap_round_trip_through_memory() {
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+    );
+    let data = w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.machine.set_pr(
+        3,
+        PtrReg::new(Ring::R5, SegAddr::from_parts(10, 7).unwrap()),
+    );
+    w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(11, 4)));
+    w.poke_instr(code, 0, Instr::pr_relative(Opcode::Spri, 1, 0).with_xreg(3));
+    w.poke_instr(
+        code,
+        1,
+        Instr::pr_relative(Opcode::Eap, 1, 0)
+            .with_indirect()
+            .with_xreg(5),
+    );
+    w.start(Ring::R4, code, 0);
+    assert_eq!(w.machine.step(), StepOutcome::Ran);
+    assert_eq!(w.machine.step(), StepOutcome::Ran);
+    let pr5 = w.machine.pr(5);
+    assert_eq!(pr5.addr, SegAddr::from_parts(10, 7).unwrap());
+    assert_eq!(pr5.ring, Ring::R5, "stored ring folded back in");
+    let _ = data;
+}

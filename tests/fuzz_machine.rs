@@ -1,0 +1,197 @@
+//! Robustness under arbitrary corruption: whatever garbage sits in
+//! physical memory — descriptor segments included — the simulator must
+//! respond with faults and halts, never panics, and the protection
+//! invariants must keep holding.
+
+use multiring::core::registers::{Dbr, Ipr, PtrReg};
+use multiring::core::ring::Ring;
+use multiring::core::word::Word;
+use multiring::core::{AbsAddr, SegAddr, SegNo, WordNo};
+use multiring::cpu::machine::{Machine, MachineConfig, StepOutcome};
+use multiring::cpu::testkit::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Completely random physical memory, random DBR, random start state:
+/// the machine must step without panicking (faults and double faults
+/// are fine) and the PR-ring invariant must hold whenever it runs.
+#[test]
+fn random_memory_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x0645_6180);
+    for round in 0..80 {
+        let words = 8 * 1024;
+        let mut m = Machine::new(words, MachineConfig::default());
+        for a in 0..words as u32 {
+            // Mix of random garbage and zeros (zeros are common in
+            // real memory and decode differently).
+            if rng.gen_bool(0.7) {
+                m.phys_mut()
+                    .poke(AbsAddr::new(a).unwrap(), Word::new(rng.gen()))
+                    .unwrap();
+            }
+        }
+        m.load_dbr(Dbr::new(
+            AbsAddr::new(rng.gen_range(0..words as u32)).unwrap(),
+            rng.gen_range(0..64),
+            SegNo::new(rng.gen_range(0..100)).unwrap(),
+        ));
+        let ring = Ring::new(rng.gen_range(0..8)).unwrap();
+        m.set_ipr(Ipr::new(
+            ring,
+            SegAddr::from_parts(rng.gen_range(0..64), rng.gen_range(0..1024)).unwrap(),
+        ));
+        for n in 0..8 {
+            m.set_pr(
+                n,
+                PtrReg::new(
+                    Ring::new(rng.gen_range(0..8)).unwrap(),
+                    SegAddr::from_parts(rng.gen_range(0..64), rng.gen_range(0..1024)).unwrap(),
+                ),
+            );
+        }
+        if rng.gen_bool(0.3) {
+            m.set_timer(Some(rng.gen_range(1..200)));
+        }
+        for _ in 0..300 {
+            match m.step() {
+                StepOutcome::Halted => break,
+                StepOutcome::Ran | StepOutcome::Trapped(_) => {
+                    for n in 0..8 {
+                        assert!(
+                            m.pr(n).ring >= m.ring(),
+                            "round {round}: PR{n} invariant broke"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Corrupting descriptor words mid-run on an otherwise sane world: the
+/// running program may start faulting, but never silently *gains*
+/// access to the ring-0 segment, and the simulator never panics.
+#[test]
+fn descriptor_corruption_cannot_widen_access() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..40 {
+        let mut w = World::new();
+        let code = w.add_segment(
+            10,
+            multiring::core::sdw::SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4)
+                .bound_words(64),
+        );
+        // The protected target: ring-0 data, with known sentinel.
+        let secret = w.add_segment(
+            11,
+            multiring::core::sdw::SdwBuilder::data(Ring::R0, Ring::R0).bound_words(16),
+        );
+        w.poke(secret, 0, Word::new(0o717171));
+        let trap = w.add_trap_segment();
+        w.machine
+            .register_native(trap, |_, _| Ok(multiring::cpu::native::NativeAction::Halt));
+        // Program: repeatedly try to read and overwrite the secret.
+        w.machine.set_pr(
+            1,
+            PtrReg::new(Ring::R4, SegAddr::from_parts(11, 0).unwrap()),
+        );
+        w.poke_instr(
+            code,
+            0,
+            multiring::cpu::isa::Instr::pr_relative(multiring::cpu::isa::Opcode::Stz, 1, 0),
+        );
+        w.poke_instr(
+            code,
+            1,
+            multiring::cpu::isa::Instr::direct(multiring::cpu::isa::Opcode::Tra, 0),
+        );
+        w.start(Ring::R4, code, 0);
+
+        // Corrupt random bits of the SECRET's descriptor pair — but
+        // only its word 0 ring/limit fields region, leaving W flag in
+        // word 1 alone half the time; any corruption must still never
+        // let ring 4 through, because unpack clamps R1<=R2<=R3 and the
+        // write bracket is [0, R1]: widening requires R1 >= 4 — that IS
+        // expressible, so instead assert: either the write keeps
+        // faulting, or the descriptor now *legitimately* (per its new
+        // fields) permits it. What must never happen is a write being
+        // permitted while the decoded SDW forbids it.
+        let desc_base = w.dbr().addr;
+        let pair = desc_base.wrapping_add(2 * 11);
+        for _ in 0..20 {
+            let which = rng.gen_bool(0.5);
+            let addr = if which { pair } else { pair.wrapping_add(1) };
+            let cur = w.machine.phys().peek(addr).unwrap();
+            let flipped = Word::new(cur.raw() ^ (1 << rng.gen_range(0..36)));
+            w.machine.phys_mut().poke(addr, flipped).unwrap();
+            w.machine.translator_mut().flush_cache();
+
+            let before = w.machine.phys().peek(
+                w.read_sdw(11).addr, // may have moved if addr bits flipped
+            );
+            let _ = before;
+            let sdw_now = w.read_sdw(11);
+            let outcome = w.machine.step(); // the STZ attempt
+            match outcome {
+                StepOutcome::Ran => {
+                    // The machine permitted the write: the decoded SDW
+                    // must actually say ring 4 may write.
+                    assert!(
+                        sdw_now.write && sdw_now.r1 >= Ring::R4 && sdw_now.present,
+                        "write permitted but SDW forbids it: {sdw_now:?}"
+                    );
+                }
+                StepOutcome::Trapped(_) | StepOutcome::Halted => {}
+            }
+            if w.machine.halted() {
+                break;
+            }
+            // Step past the TRA (or the trap handler's halt).
+            let _ = w.machine.step();
+            if w.machine.halted() {
+                break;
+            }
+        }
+    }
+}
+
+/// Random instruction words interleaved with random EA modifiers on a
+/// sane world: exhaustive exercise of the decode + EA + validate path.
+#[test]
+fn random_code_on_sane_world_never_panics() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..60 {
+        let mut w = World::new();
+        let code = w.add_segment(
+            10,
+            multiring::core::sdw::SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4)
+                .gates(8)
+                .bound_words(256),
+        );
+        w.add_segment(
+            11,
+            multiring::core::sdw::SdwBuilder::data(Ring::R4, Ring::R4).bound_words(256),
+        );
+        w.add_standard_stacks(16);
+        let trap = w.add_trap_segment();
+        w.machine
+            .register_native(trap, |_, _| Ok(multiring::cpu::native::NativeAction::Halt));
+        for i in 0..256u32 {
+            w.poke(code, i, Word::new(rng.gen()));
+        }
+        for n in 0..8 {
+            w.machine.set_pr(
+                n,
+                PtrReg::new(
+                    Ring::new(rng.gen_range(4..8)).unwrap(),
+                    SegAddr::new(
+                        SegNo::new(if rng.gen_bool(0.5) { 10 } else { 11 }).unwrap(),
+                        WordNo::new(rng.gen_range(0..256)).unwrap(),
+                    ),
+                ),
+            );
+        }
+        w.start(Ring::R4, code, rng.gen_range(0..256));
+        let _ = w.machine.run(500);
+    }
+}

@@ -1,0 +1,74 @@
+//! The shipped sample assembly programs (`examples/asm/*.rasm`)
+//! assemble and compute the right answers on the simulator.
+
+use multiring::core::ring::Ring;
+use multiring::core::sdw::SdwBuilder;
+use multiring::cpu::machine::RunExit;
+use multiring::cpu::native::NativeAction;
+use multiring::cpu::testkit::World;
+
+fn run_sample(path: &str, budget: u64) -> (World, RunExit) {
+    let source = std::fs::read_to_string(path).expect("sample exists");
+    let image = multiring::asm::assemble(&source).expect("sample assembles");
+    let mut world = World::new();
+    let code = world.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R7)
+            .gates(4)
+            .bound_words(image.len().max(16)),
+    );
+    world.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(1024));
+    world.add_standard_stacks(16);
+    let trap = world.add_trap_segment();
+    world
+        .machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    for (i, w) in image.words.iter().enumerate() {
+        world.poke(code, i as u32, *w);
+    }
+    world.start(Ring::R4, code, 0);
+    let exit = world.machine.run(budget);
+    (world, exit)
+}
+
+#[test]
+fn fibonacci_sample_computes_fib_12() {
+    let (world, exit) = run_sample("examples/asm/fibonacci.rasm", 10_000);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(world.machine.a().raw(), 144);
+    // The stored sequence is right too.
+    let data = ring_core::addr::SegNo::new(11).unwrap();
+    let expect = [0u64, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89];
+    for (i, &v) in expect.iter().enumerate() {
+        assert_eq!(world.peek(data, i as u32).raw(), v, "fib({i})");
+    }
+}
+
+#[test]
+fn sieve_sample_counts_primes_below_64() {
+    let (world, exit) = run_sample("examples/asm/sieve.rasm", 50_000);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(world.machine.a().raw(), 18, "18 primes below 64");
+    let data = ring_core::addr::SegNo::new(11).unwrap();
+    assert_eq!(world.peek(data, 13).raw(), 0, "13 is prime");
+    assert_eq!(world.peek(data, 15).raw(), 1, "15 is composite");
+}
+
+#[test]
+fn subroutine_sample_uses_internal_calls() {
+    let (world, exit) = run_sample("examples/asm/subroutine.rasm", 1_000);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(world.machine.a().raw(), 20);
+    // Two same-ring CALLs and RETURNs; no ring was crossed.
+    let st = world.machine.stats();
+    assert_eq!(st.calls_same_ring, 2);
+    assert_eq!(st.returns_same_ring, 2);
+    assert_eq!(st.calls_downward, 0);
+}
+
+#[test]
+fn gcd_sample_computes_gcd() {
+    let (world, exit) = run_sample("examples/asm/gcd.rasm", 5_000);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(world.machine.a().raw(), 21, "gcd(252, 105) = 21");
+}
