@@ -693,6 +693,80 @@ pub fn t6_crossover_table() -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// T7 — what the observability layer sees
+// ---------------------------------------------------------------------
+
+/// Runs `iters` round trips of the T1 workload against `target_ring`
+/// with the metrics recorder on and returns the snapshot.
+pub fn crossing_census(target_ring: Ring, iters: u32) -> ring_cpu::MetricsSnapshot {
+    let n = 2;
+    let mut fix = HardRings::new(n, target_ring);
+    fix.world.machine.enable_metrics();
+    for _ in 0..iters {
+        fix.run_once(n);
+    }
+    fix.world.machine.metrics_snapshot()
+}
+
+/// T7 — the telemetry census: every counter the observability layer
+/// records for the same-ring control vs the cross-ring run, straight
+/// from [`ring_cpu::MetricsSnapshot`] rather than hand-derived
+/// arithmetic. The headline row is `trap_to_ring0`: the cross-ring runs
+/// add ring changes without adding traps.
+pub fn t7_table() -> String {
+    let iters = 50;
+    let same = crossing_census(Ring::R4, iters);
+    let down = crossing_census(Ring::R1, iters);
+    let lookup =
+        |s: &ring_cpu::MetricsSnapshot, key: &str| s.crossing(key).unwrap_or(0).to_string();
+    let mut rows: Vec<Vec<String>> = [
+        "call_down",
+        "call_same_ring",
+        "return_up",
+        "return_same_ring",
+        "trap_to_ring0",
+    ]
+    .into_iter()
+    .map(|k| vec![k.to_string(), lookup(&same, k), lookup(&down, k)])
+    .collect();
+    rows.push(vec![
+        "ring changes".into(),
+        same.ring_changes.to_string(),
+        down.ring_changes.to_string(),
+    ]);
+    rows.push(vec![
+        "faults".into(),
+        same.faults_total.to_string(),
+        down.faults_total.to_string(),
+    ]);
+    rows.push(vec![
+        "mean CALL cycles".into(),
+        format!("{:.1}", same.call_cycles.mean),
+        format!("{:.1}", down.call_cycles.mean),
+    ]);
+    rows.push(vec![
+        "mean RETURN cycles".into(),
+        format!("{:.1}", same.return_cycles.mean),
+        format!("{:.1}", down.return_cycles.mean),
+    ]);
+    rows.push(vec![
+        "SDW cache hit ratio".into(),
+        format!("{:.1}%", 100.0 * same.sdw_cache.hit_ratio()),
+        format!("{:.1}%", 100.0 * down.sdw_cache.hit_ratio()),
+    ]);
+    rows.push(vec![
+        "TPR maximisations".into(),
+        same.tpr_maximisations.to_string(),
+        down.tpr_maximisations.to_string(),
+    ]);
+    render_table(
+        &format!("T7: observability census, {iters} protected-call round trips (2 args)"),
+        &["counter", "same-ring", "down-call"],
+        &rows,
+    )
+}
+
 /// All quantitative tables, concatenated.
 pub fn all_tables() -> String {
     [
@@ -703,6 +777,7 @@ pub fn all_tables() -> String {
         t5_table(),
         t6_ablation_table(),
         t6_crossover_table(),
+        t7_table(),
     ]
     .join("\n")
 }
@@ -760,6 +835,26 @@ mod tests {
         assert_eq!(hit_none, 0.0);
         assert!(hit_full > 0.8, "working set fits: {hit_full}");
         assert!(full < none, "cache reduces cycles ({full} vs {none})");
+    }
+
+    #[test]
+    fn t7_census_matches_the_workload() {
+        let iters = 10;
+        let down = crossing_census(Ring::R1, iters);
+        let n = u64::from(iters);
+        // One hardware down-call and one up-return per round trip,
+        // plus the exit derail's trap to ring 0 — and nothing else.
+        assert_eq!(down.crossing("call_down"), Some(n));
+        assert_eq!(down.crossing("return_up"), Some(n));
+        assert_eq!(down.crossing("trap_to_ring0"), Some(n));
+        assert_eq!(down.crossing("upward_call_trap"), Some(0));
+        assert_eq!(down.faults_total, n);
+        assert_eq!(down.call_cycles.count, n);
+        // The same-ring control crosses no ring boundary on CALL.
+        let same = crossing_census(Ring::R4, iters);
+        assert_eq!(same.crossing("call_down"), Some(0));
+        assert_eq!(same.crossing("call_same_ring"), Some(n));
+        assert!(same.ring_changes < down.ring_changes);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use ring_core::access::{AccessMode, Fault};
 use ring_core::addr::{SegAddr, SegNo, WordNo};
 use ring_core::callret::{call_stack_segno, check_call, check_return};
 use ring_core::registers::{PtrReg, Tpr};
+use ring_metrics::{Crossing, EventSink};
 
 use crate::machine::Machine;
 use crate::trace::TraceEvent;
@@ -45,6 +46,13 @@ impl Machine {
         } else {
             self.stats.calls_same_ring += 1;
         }
+        let kind = if decision.downward {
+            Crossing::CallDown
+        } else {
+            Crossing::CallSameRing
+        };
+        self.metrics
+            .crossing(kind, self.ipr.ring, decision.new_ring);
 
         self.ipr.ring = decision.new_ring;
         self.ipr.addr = tpr.addr;
@@ -72,6 +80,13 @@ impl Machine {
         } else {
             self.stats.returns_same_ring += 1;
         }
+        let kind = if decision.upward {
+            Crossing::ReturnUp
+        } else {
+            Crossing::ReturnSameRing
+        };
+        self.metrics
+            .crossing(kind, self.ipr.ring, decision.new_ring);
 
         self.ipr.ring = decision.new_ring;
         self.ipr.addr = tpr.addr;

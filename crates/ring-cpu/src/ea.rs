@@ -15,6 +15,7 @@ use ring_core::effective;
 use ring_core::registers::{IndWord, Tpr};
 use ring_core::validate;
 use ring_core::word::Word;
+use ring_metrics::EventSink;
 
 use crate::isa::{AddrMode, Instr};
 use crate::machine::Machine;
@@ -100,6 +101,12 @@ impl Machine {
             };
             indirect = iw.indirect;
         }
+
+        // Fig. 5 telemetry: chain depth, and whether folding raised the
+        // effective ring above the ring of execution (a TPR
+        // ring-maximisation event).
+        self.metrics
+            .ea_formed(depth, tpr.ring.number() > self.ipr.ring.number());
 
         Ok(EffAddr {
             tpr,

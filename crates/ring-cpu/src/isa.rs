@@ -198,6 +198,27 @@ pub enum OperandUse {
     None,
 }
 
+impl OperandUse {
+    /// The corresponding `ring-metrics` counter class. The two enums
+    /// mirror each other; the metrics crate keeps its own copy so it
+    /// depends only on `ring-core`.
+    pub fn metric_class(self) -> ring_metrics::OpClass {
+        use ring_metrics::OpClass;
+        match self {
+            OperandUse::Read => OpClass::Read,
+            OperandUse::Write => OpClass::Write,
+            OperandUse::ReadWrite => OpClass::ReadWrite,
+            OperandUse::WritePair => OpClass::WritePair,
+            OperandUse::Pointer => OpClass::Pointer,
+            OperandUse::Transfer => OpClass::Transfer,
+            OperandUse::Call => OpClass::Call,
+            OperandUse::Return => OpClass::Return,
+            OperandUse::AddressOnly => OpClass::AddressOnly,
+            OperandUse::None => OpClass::NoOperand,
+        }
+    }
+}
+
 impl Opcode {
     /// Decodes an opcode field value.
     pub fn from_bits(b: u64) -> Result<Opcode, Fault> {

@@ -42,5 +42,6 @@ pub use io::{Direction, IoSystem, TtyDevice};
 pub use isa::{AddrMode, Instr, Opcode, OperandUse};
 pub use machine::{CostModel, ExecStats, Machine, MachineConfig, RunExit, StepOutcome};
 pub use native::{NativeAction, NativeFn, NativeRegistry};
+pub use ring_metrics::{Crossing, Metrics, MetricsSnapshot, SdwCacheStats};
 pub use trace::TraceEvent;
 pub use trap::SavedState;

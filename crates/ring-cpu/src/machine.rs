@@ -26,6 +26,7 @@ use ring_core::ring::Ring;
 use ring_core::sdw::Sdw;
 use ring_core::validate;
 use ring_core::word::Word;
+use ring_metrics::{EventSink, Metrics, MetricsSnapshot, SdwCacheStats};
 use ring_segmem::phys::PhysMem;
 use ring_segmem::translate::Translator;
 
@@ -205,6 +206,8 @@ pub struct Machine {
     pub(crate) double_fault: Option<Fault>,
     pub(crate) stats: ExecStats,
     pub(crate) trace: Trace,
+    pub(crate) metrics: Metrics,
+    pub(crate) last_use: Option<crate::isa::OperandUse>,
     pub(crate) extra_cycles: u64,
 }
 
@@ -236,6 +239,8 @@ impl Machine {
             double_fault: None,
             stats: ExecStats::default(),
             trace: Trace::disabled(),
+            metrics: Metrics::disabled(),
+            last_use: None,
             extra_cycles: 0,
         }
     }
@@ -399,6 +404,59 @@ impl Machine {
         self.trace.take()
     }
 
+    /// Drains the trace with global sequence numbers, so a consumer can
+    /// tell how many earlier events were dropped by the ring buffer.
+    pub fn take_trace_seq(&mut self) -> Vec<(u64, TraceEvent)> {
+        self.trace.take_seq()
+    }
+
+    /// Trace events discarded so far because the buffer was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
+    /// Turns on metrics collection (ring crossings, faults, cycle
+    /// histograms, the per-segment heatmap). Off by default: a disabled
+    /// recorder costs one branch per event and changes no architectural
+    /// state either way.
+    pub fn enable_metrics(&mut self) {
+        self.metrics.enable();
+    }
+
+    /// The metrics recorder (read-only).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics recorder (reset, re-enablement).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// SDW associative-memory statistics, independent of the metrics
+    /// recorder (the cache counts its own traffic).
+    pub fn sdw_cache_stats(&self) -> ring_segmem::sdw_cache::CacheStats {
+        self.tr.cache_stats()
+    }
+
+    /// Builds an export-ready snapshot of everything recorded: metrics
+    /// counters and histograms, execution totals, and SDW-cache
+    /// statistics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let cs = self.tr.cache_stats();
+        MetricsSnapshot::new(
+            &self.metrics,
+            self.stats.instructions,
+            self.cycles,
+            SdwCacheStats {
+                hits: cs.hits,
+                misses: cs.misses,
+                flushes: cs.flushes,
+                invalidations: cs.invalidations,
+            },
+        )
+    }
+
     /// Charges extra simulated cycles (used by native procedures to
     /// account for the work a compiled-code body would have done).
     pub fn charge(&mut self, cycles: u64) {
@@ -463,12 +521,29 @@ impl Machine {
     // ---- validated memory access (the paths native procedures use) ----
 
     /// Fetches the SDW for `addr.segno` (counted like hardware).
+    ///
+    /// This is the single chokepoint every validated reference funnels
+    /// through, so it is also where the metrics layer observes memory
+    /// traffic: SDW-cache hit/miss latency and the per-segment access
+    /// heatmap.
     pub(crate) fn sdw_for(
         &mut self,
         addr: SegAddr,
         mode: ring_core::access::AccessMode,
     ) -> Result<Sdw, Fault> {
-        self.tr.fetch_sdw(&mut self.phys, &self.dbr, addr, mode)
+        if !self.metrics.is_enabled() {
+            return self.tr.fetch_sdw(&mut self.phys, &self.dbr, addr, mode);
+        }
+        let hits_before = self.tr.cache_stats().hits;
+        let refs_before = self.phys.ref_count();
+        let result = self.tr.fetch_sdw(&mut self.phys, &self.dbr, addr, mode);
+        let hit = self.tr.cache_stats().hits > hits_before;
+        self.metrics
+            .sdw_lookup(hit, self.phys.ref_count() - refs_before);
+        if result.is_ok() {
+            self.metrics.access(addr.segno.value(), mode);
+        }
+        result
     }
 
     /// Reads a word with full hardware validation at the effective ring
@@ -592,6 +667,7 @@ impl Machine {
         let snapshot = self.snapshot();
         let refs_before = self.phys.ref_count();
         self.extra_cycles = 0;
+        self.last_use = None;
         let result = self.execute_one();
         self.stats.instructions += 1;
         let spent = self.config.costs.base_instruction
@@ -600,6 +676,15 @@ impl Machine {
         self.cycles += spent;
         if let Some(t) = self.timer.as_mut() {
             *t = t.saturating_sub(spent);
+        }
+        if result.is_ok() && self.metrics.is_enabled() {
+            // Attribute the whole instruction's cycle cost to the
+            // CALL/RETURN path histograms (completed paths only).
+            match self.last_use {
+                Some(crate::isa::OperandUse::Call) => self.metrics.call_cycles(spent),
+                Some(crate::isa::OperandUse::Return) => self.metrics.return_cycles(spent),
+                _ => {}
+            }
         }
         match result {
             Ok(()) => {
@@ -661,6 +746,10 @@ impl Machine {
             at: self.ipr,
             instr,
         });
+        let use_class = instr.opcode.operand_use();
+        self.last_use = Some(use_class);
+        self.metrics
+            .instruction(self.ipr.ring, use_class.metric_class());
         // The instruction counter advances before execution; transfers
         // overwrite it.
         self.ipr.addr = SegAddr::new(iaddr.segno, iaddr.wordno.wrapping_add(1));

@@ -30,6 +30,7 @@ use ring_core::addr::{pack_pointer, unpack_pointer, SegAddr, WordNo, MAX_WORDNO}
 use ring_core::registers::{Ipr, PtrReg, NUM_PR};
 use ring_core::ring::Ring;
 use ring_core::word::Word;
+use ring_metrics::{Crossing, EventSink};
 
 use crate::machine::{Machine, StepOutcome};
 use crate::trace::TraceEvent;
@@ -134,6 +135,16 @@ impl Machine {
             _ => {}
         }
         self.trace.push(|| TraceEvent::Trap { fault });
+        let from = self.ipr.ring;
+        self.metrics.fault(&fault, from);
+        // The software-assisted crossings get their own kind; every
+        // other trap is a plain forced entry to ring 0.
+        let kind = match fault {
+            Fault::UpwardCall { .. } => Crossing::UpwardCallTrap,
+            Fault::DownwardReturn { .. } => Crossing::DownwardReturnTrap,
+            _ => Crossing::TrapToRing0,
+        };
+        self.metrics.crossing(kind, from, Ring::R0);
         self.cycles += self.config.costs.trap_overhead;
         self.last_fault = Some(fault);
 

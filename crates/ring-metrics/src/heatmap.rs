@@ -1,0 +1,106 @@
+//! Per-segment access heatmap: R/W/E reference counts and refused
+//! (bracket-violation) attempts.
+
+use std::collections::BTreeMap;
+
+use ring_core::access::AccessMode;
+
+/// Reference counts for one segment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegHeat {
+    /// Validated read references (operand fetches, indirect words).
+    pub reads: u64,
+    /// Validated write references.
+    pub writes: u64,
+    /// Validated execute references (instruction fetches, transfers).
+    pub executes: u64,
+    /// References refused by access validation (any violation kind).
+    pub violations: u64,
+}
+
+impl SegHeat {
+    /// Total validated references of every mode.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.executes
+    }
+}
+
+/// Access counts per segment number, ordered for stable export.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentHeatmap {
+    segs: BTreeMap<u32, SegHeat>,
+}
+
+impl SegmentHeatmap {
+    /// A fresh, empty heatmap.
+    pub fn new() -> SegmentHeatmap {
+        SegmentHeatmap::default()
+    }
+
+    /// Records one reference of `mode` to segment `segno`.
+    pub fn record(&mut self, segno: u32, mode: AccessMode) {
+        let heat = self.segs.entry(segno).or_default();
+        match mode {
+            AccessMode::Read => heat.reads += 1,
+            AccessMode::Write => heat.writes += 1,
+            AccessMode::Execute => heat.executes += 1,
+        }
+    }
+
+    /// Records one refused reference to segment `segno`.
+    pub fn record_violation(&mut self, segno: u32) {
+        self.segs.entry(segno).or_default().violations += 1;
+    }
+
+    /// The counts for `segno`, if any reference touched it.
+    pub fn get(&self, segno: u32) -> Option<&SegHeat> {
+        self.segs.get(&segno)
+    }
+
+    /// Number of segments touched.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Iterates `(segno, counts)` in ascending segment order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &SegHeat)> {
+        self.segs.iter().map(|(s, h)| (*s, h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_mode_and_violation() {
+        let mut h = SegmentHeatmap::new();
+        h.record(10, AccessMode::Execute);
+        h.record(10, AccessMode::Execute);
+        h.record(11, AccessMode::Read);
+        h.record(11, AccessMode::Write);
+        h.record_violation(12);
+        assert_eq!(h.get(10).unwrap().executes, 2);
+        assert_eq!(h.get(11).unwrap().reads, 1);
+        assert_eq!(h.get(11).unwrap().writes, 1);
+        assert_eq!(h.get(11).unwrap().total(), 2);
+        assert_eq!(h.get(12).unwrap().violations, 1);
+        assert_eq!(h.get(12).unwrap().total(), 0);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_segment_ordered() {
+        let mut h = SegmentHeatmap::new();
+        for s in [30u32, 10, 20] {
+            h.record(s, AccessMode::Read);
+        }
+        let order: Vec<u32> = h.iter().map(|(s, _)| s).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+}

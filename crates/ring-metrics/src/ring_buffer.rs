@@ -1,0 +1,149 @@
+//! A bounded event recorder that drops the *oldest* entries.
+//!
+//! This is the storage the CPU's execution trace is built on: a
+//! `VecDeque` ring with a global sequence number, so consumers can both
+//! see the most recent `capacity` events and know how many earlier
+//! events were discarded.
+
+use std::collections::VecDeque;
+
+/// A drop-oldest ring buffer of events with sequence numbering.
+///
+/// Every pushed event gets a monotonically increasing sequence number
+/// (starting at 0). Once `capacity` events are held, pushing another
+/// discards the oldest — the recorder always holds the `capacity` most
+/// recent events.
+#[derive(Clone, Debug)]
+pub struct EventRing<T> {
+    events: VecDeque<(u64, T)>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl<T> EventRing<T> {
+    /// Creates a recorder holding at most `capacity` events.
+    pub fn new(capacity: usize) -> EventRing<T> {
+        EventRing {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, discarding the oldest if the buffer is full.
+    /// With capacity 0 the event is counted but not stored.
+    pub fn push(&mut self, event: T) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+        } else {
+            if self.events.len() >= self.capacity {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+            self.events.push_back((self.next_seq, event));
+        }
+        self.next_seq += 1;
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever pushed (held plus dropped).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events discarded because the buffer was full (draining is not
+    /// dropping: consumed events do not count).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the held events oldest-first with sequence numbers.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.events.iter().map(|(seq, e)| (*seq, e))
+    }
+
+    /// Drains the held events oldest-first, keeping sequence numbering
+    /// intact for later pushes.
+    pub fn drain(&mut self) -> Vec<(u64, T)> {
+        self.events.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_beyond_capacity() {
+        let mut r = EventRing::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        let held: Vec<(u64, i32)> = r.drain();
+        // The three *newest* events survive, with their true sequence
+        // numbers — this is the drop-oldest contract.
+        assert_eq!(held, vec![(7, 7), (8, 8), (9, 9)]);
+        assert_eq!(r.total_recorded(), 10);
+    }
+
+    #[test]
+    fn dropped_counts_discards() {
+        let mut r = EventRing::new(2);
+        assert_eq!(r.dropped(), 0);
+        r.push('a');
+        r.push('b');
+        assert_eq!(r.dropped(), 0);
+        r.push('c');
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_storing() {
+        let mut r = EventRing::new(0);
+        r.push(1u8);
+        r.push(2);
+        assert!(r.is_empty());
+        assert_eq!(r.total_recorded(), 2);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn drain_preserves_sequence_across_refills() {
+        let mut r = EventRing::new(4);
+        r.push("x");
+        let first = r.drain();
+        assert_eq!(first[0].0, 0);
+        assert_eq!(r.dropped(), 0, "draining is consumption, not dropping");
+        r.push("y");
+        let second = r.drain();
+        assert_eq!(second[0].0, 1, "sequence numbers continue after drain");
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn iter_is_oldest_first() {
+        let mut r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(i * 10);
+        }
+        let seqs: Vec<u64> = r.iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+}

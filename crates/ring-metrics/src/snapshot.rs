@@ -1,0 +1,521 @@
+//! Export-ready snapshots: the merged view of machine metrics,
+//! SDW-cache statistics and supervisor counters, with JSON and CSV
+//! serializers (hand-rolled — the simulator has no serde dependency).
+//!
+//! The JSON schema is documented in `docs/OBSERVABILITY.md` at the
+//! workspace root; the CSV form is a flat `key,value` table using the
+//! same dotted keys as the JSON paths.
+
+use crate::counters::{vector_key, Crossing, OpClass, NUM_RINGS, NUM_VECTORS};
+use crate::heatmap::SegHeat;
+use crate::hist::CycleHistogram;
+use crate::Metrics;
+
+/// SDW associative-memory statistics, mirrored here so consumers of a
+/// snapshot need no `ring-segmem` dependency.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SdwCacheStats {
+    /// Lookups satisfied by the cache.
+    pub hits: u64,
+    /// Lookups that walked the descriptor segment.
+    pub misses: u64,
+    /// Full flushes (DBR loads).
+    pub flushes: u64,
+    /// Single-entry invalidations (supervisor SDW updates).
+    pub invalidations: u64,
+}
+
+impl SdwCacheStats {
+    /// Hit ratio in `[0, 1]`; zero when there were no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bucketed histogram flattened for export.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Exact mean (0.0 when empty).
+    pub mean: f64,
+    /// Non-empty buckets as `(lo, hi, count)` inclusive ranges.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn of(h: &CycleHistogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            mean: h.mean(),
+            buckets: h.nonzero_buckets().collect(),
+        }
+    }
+}
+
+/// A complete, self-contained picture of everything the observability
+/// layer recorded, plus the execution totals it is reported against.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Whether the metrics layer was enabled when the snapshot was taken
+    /// (a disabled run exports structure with all-zero counters).
+    pub enabled: bool,
+    /// Instructions completed by the machine.
+    pub instructions: u64,
+    /// Simulated cycles elapsed.
+    pub cycles: u64,
+    /// Per-kind crossing counts, in [`Crossing::ALL`] order.
+    pub crossings: Vec<(&'static str, u64)>,
+    /// `matrix[from][to]` ring-transition counts.
+    pub crossing_matrix: [[u64; NUM_RINGS]; NUM_RINGS],
+    /// Total events that changed the ring of execution.
+    pub ring_changes: u64,
+    /// Fault counts by vector name, in vector order.
+    pub faults_by_vector: Vec<(&'static str, u64)>,
+    /// Fault counts by faulting ring.
+    pub faults_by_ring: [u64; NUM_RINGS],
+    /// Total faults.
+    pub faults_total: u64,
+    /// Instruction counts by operand class, in [`OpClass::ALL`] order.
+    pub opcode_classes: Vec<(&'static str, u64)>,
+    /// Instruction counts by ring of execution.
+    pub instr_by_ring: [u64; NUM_RINGS],
+    /// CALL-path cycle costs.
+    pub call_cycles: HistogramSnapshot,
+    /// RETURN-path cycle costs.
+    pub return_cycles: HistogramSnapshot,
+    /// Effective-address indirect-chain depths.
+    pub ea_depth: HistogramSnapshot,
+    /// Fig. 5 TPR ring-maximisation events.
+    pub tpr_maximisations: u64,
+    /// Extra descriptor-walk references on SDW-cache hits.
+    pub sdw_hit_refs: HistogramSnapshot,
+    /// Extra descriptor-walk references on SDW-cache misses.
+    pub sdw_miss_refs: HistogramSnapshot,
+    /// Per-segment access counts, ascending by segment number.
+    pub heatmap: Vec<(u32, SegHeat)>,
+    /// SDW associative-memory statistics.
+    pub sdw_cache: SdwCacheStats,
+    /// Namespaced supplementary counters (the supervisor contributes
+    /// `os.*` keys: gate transits, ACL denials, per-process crossings).
+    pub extra: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Builds a snapshot from the recorder plus execution totals and
+    /// cache statistics gathered by the machine.
+    pub fn new(
+        metrics: &Metrics,
+        instructions: u64,
+        cycles: u64,
+        sdw_cache: SdwCacheStats,
+    ) -> MetricsSnapshot {
+        MetricsSnapshot {
+            enabled: metrics.is_enabled(),
+            instructions,
+            cycles,
+            crossings: Crossing::ALL
+                .iter()
+                .map(|k| (k.key(), metrics.crossings.count(*k)))
+                .collect(),
+            crossing_matrix: metrics.crossings.matrix,
+            ring_changes: metrics.crossings.total_ring_changes(),
+            faults_by_vector: (0..NUM_VECTORS as u32)
+                .map(|v| (vector_key(v), metrics.faults.count_vector(v)))
+                .collect(),
+            faults_by_ring: metrics.faults.by_ring,
+            faults_total: metrics.faults.total(),
+            opcode_classes: OpClass::ALL
+                .iter()
+                .map(|c| (c.key(), metrics.opclasses.count(*c)))
+                .collect(),
+            instr_by_ring: metrics.instr_by_ring,
+            call_cycles: HistogramSnapshot::of(&metrics.call_cycles),
+            return_cycles: HistogramSnapshot::of(&metrics.return_cycles),
+            ea_depth: HistogramSnapshot::of(&metrics.ea_depth),
+            tpr_maximisations: metrics.tpr_maximisations,
+            sdw_hit_refs: HistogramSnapshot::of(&metrics.sdw_hit_refs),
+            sdw_miss_refs: HistogramSnapshot::of(&metrics.sdw_miss_refs),
+            heatmap: metrics.heatmap.iter().map(|(s, h)| (s, *h)).collect(),
+            sdw_cache,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Appends a namespaced supplementary counter (e.g.
+    /// `os.gate_calls_hcs`).
+    pub fn push_extra(&mut self, key: impl Into<String>, value: u64) {
+        self.extra.push((key.into(), value));
+    }
+
+    /// The value of a crossing counter by its key, if present.
+    pub fn crossing(&self, key: &str) -> Option<u64> {
+        self.crossings
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serializes the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"enabled\": {},\n", self.enabled));
+        out.push_str(&format!("  \"instructions\": {},\n", self.instructions));
+        out.push_str(&format!("  \"cycles\": {},\n", self.cycles));
+
+        out.push_str("  \"crossings\": {\n");
+        for (key, v) in &self.crossings {
+            out.push_str(&format!("    \"{key}\": {v},\n"));
+        }
+        out.push_str(&format!("    \"ring_changes\": {},\n", self.ring_changes));
+        out.push_str("    \"matrix\": ");
+        out.push_str(&json_matrix(&self.crossing_matrix));
+        out.push_str("\n  },\n");
+
+        out.push_str("  \"faults\": {\n");
+        out.push_str(&format!("    \"total\": {},\n", self.faults_total));
+        out.push_str("    \"by_vector\": {");
+        out.push_str(
+            &self
+                .faults_by_vector
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "    \"by_ring\": {}\n  }},\n",
+            json_u64_array(&self.faults_by_ring)
+        ));
+
+        out.push_str("  \"opcode_classes\": {");
+        out.push_str(
+            &self
+                .opcode_classes
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "  \"instructions_by_ring\": {},\n",
+            json_u64_array(&self.instr_by_ring)
+        ));
+
+        out.push_str("  \"histograms\": {\n");
+        let hists = [
+            ("call_cycles", &self.call_cycles),
+            ("return_cycles", &self.return_cycles),
+            ("ea_indirect_depth", &self.ea_depth),
+            ("sdw_hit_extra_refs", &self.sdw_hit_refs),
+            ("sdw_miss_extra_refs", &self.sdw_miss_refs),
+        ];
+        for (i, (key, h)) in hists.iter().enumerate() {
+            let sep = if i + 1 == hists.len() { "" } else { "," };
+            out.push_str(&format!("    \"{key}\": {}{sep}\n", json_histogram(h)));
+        }
+        out.push_str("  },\n");
+
+        out.push_str(&format!(
+            "  \"ea\": {{\"tpr_maximisations\": {}}},\n",
+            self.tpr_maximisations
+        ));
+
+        out.push_str("  \"heatmap\": [\n");
+        for (i, (segno, h)) in self.heatmap.iter().enumerate() {
+            let sep = if i + 1 == self.heatmap.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"segno\": {segno}, \"reads\": {}, \"writes\": {}, \
+                 \"executes\": {}, \"violations\": {}}}{sep}\n",
+                h.reads, h.writes, h.executes, h.violations
+            ));
+        }
+        out.push_str("  ],\n");
+
+        out.push_str(&format!(
+            "  \"sdw_cache\": {{\"hits\": {}, \"misses\": {}, \"flushes\": {}, \
+             \"invalidations\": {}, \"hit_ratio\": {}}},\n",
+            self.sdw_cache.hits,
+            self.sdw_cache.misses,
+            self.sdw_cache.flushes,
+            self.sdw_cache.invalidations,
+            json_f64(self.sdw_cache.hit_ratio())
+        ));
+
+        out.push_str("  \"extra\": {");
+        out.push_str(
+            &self
+                .extra
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Serializes the snapshot as flat `key,value` CSV rows using the
+    /// same dotted keys as the JSON paths.
+    pub fn to_csv(&self) -> String {
+        let mut rows: Vec<(String, String)> = vec![
+            ("enabled".into(), u64::from(self.enabled).to_string()),
+            ("instructions".into(), self.instructions.to_string()),
+            ("cycles".into(), self.cycles.to_string()),
+        ];
+        for (key, v) in &self.crossings {
+            rows.push((format!("crossings.{key}"), v.to_string()));
+        }
+        rows.push((
+            "crossings.ring_changes".into(),
+            self.ring_changes.to_string(),
+        ));
+        for (from, row) in self.crossing_matrix.iter().enumerate() {
+            for (to, v) in row.iter().enumerate() {
+                if *v > 0 {
+                    rows.push((format!("crossings.matrix.{from}.{to}"), v.to_string()));
+                }
+            }
+        }
+        rows.push(("faults.total".into(), self.faults_total.to_string()));
+        for (key, v) in &self.faults_by_vector {
+            rows.push((format!("faults.by_vector.{key}"), v.to_string()));
+        }
+        for (ring, v) in self.faults_by_ring.iter().enumerate() {
+            rows.push((format!("faults.by_ring.{ring}"), v.to_string()));
+        }
+        for (key, v) in &self.opcode_classes {
+            rows.push((format!("opcode_classes.{key}"), v.to_string()));
+        }
+        for (ring, v) in self.instr_by_ring.iter().enumerate() {
+            rows.push((format!("instructions_by_ring.{ring}"), v.to_string()));
+        }
+        for (key, h) in [
+            ("call_cycles", &self.call_cycles),
+            ("return_cycles", &self.return_cycles),
+            ("ea_indirect_depth", &self.ea_depth),
+            ("sdw_hit_extra_refs", &self.sdw_hit_refs),
+            ("sdw_miss_extra_refs", &self.sdw_miss_refs),
+        ] {
+            rows.push((format!("histograms.{key}.count"), h.count.to_string()));
+            rows.push((format!("histograms.{key}.sum"), h.sum.to_string()));
+            rows.push((format!("histograms.{key}.min"), h.min.to_string()));
+            rows.push((format!("histograms.{key}.max"), h.max.to_string()));
+            rows.push((format!("histograms.{key}.mean"), format!("{:.3}", h.mean)));
+        }
+        rows.push((
+            "ea.tpr_maximisations".into(),
+            self.tpr_maximisations.to_string(),
+        ));
+        for (segno, h) in &self.heatmap {
+            rows.push((format!("heatmap.{segno}.reads"), h.reads.to_string()));
+            rows.push((format!("heatmap.{segno}.writes"), h.writes.to_string()));
+            rows.push((format!("heatmap.{segno}.executes"), h.executes.to_string()));
+            rows.push((
+                format!("heatmap.{segno}.violations"),
+                h.violations.to_string(),
+            ));
+        }
+        rows.push(("sdw_cache.hits".into(), self.sdw_cache.hits.to_string()));
+        rows.push(("sdw_cache.misses".into(), self.sdw_cache.misses.to_string()));
+        rows.push((
+            "sdw_cache.flushes".into(),
+            self.sdw_cache.flushes.to_string(),
+        ));
+        rows.push((
+            "sdw_cache.invalidations".into(),
+            self.sdw_cache.invalidations.to_string(),
+        ));
+        rows.push((
+            "sdw_cache.hit_ratio".into(),
+            format!("{:.3}", self.sdw_cache.hit_ratio()),
+        ));
+        for (k, v) in &self.extra {
+            rows.push((format!("extra.{k}"), v.to_string()));
+        }
+
+        let mut out = String::from("key,value\n");
+        for (k, v) in rows {
+            out.push_str(&k);
+            out.push(',');
+            out.push_str(&v);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn json_u64_array(xs: &[u64]) -> String {
+    format!(
+        "[{}]",
+        xs.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+fn json_matrix(m: &[[u64; NUM_RINGS]; NUM_RINGS]) -> String {
+    format!(
+        "[{}]",
+        m.iter()
+            .map(|row| json_u64_array(row))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_histogram(h: &HistogramSnapshot) -> String {
+    let buckets = h
+        .buckets
+        .iter()
+        .map(|(lo, hi, c)| format!("{{\"lo\": {lo}, \"hi\": {hi}, \"count\": {c}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+         \"buckets\": [{buckets}]}}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        json_f64(h.mean)
+    )
+}
+
+/// Escapes a string for inclusion inside JSON double quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Crossing, EventSink, OpClass};
+    use ring_core::access::AccessMode;
+    use ring_core::ring::Ring;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut m = Metrics::enabled();
+        m.instruction(Ring::R4, OpClass::Read);
+        m.crossing(Crossing::CallDown, Ring::R4, Ring::R1);
+        m.crossing(Crossing::ReturnUp, Ring::R1, Ring::R4);
+        m.fault(&ring_core::access::Fault::TimerRunout, Ring::R4);
+        m.access(10, AccessMode::Execute);
+        m.sdw_lookup(false, 2);
+        m.call_cycles(9);
+        m.ea_formed(1, false);
+        let mut s = MetricsSnapshot::new(
+            &m,
+            100,
+            700,
+            SdwCacheStats {
+                hits: 90,
+                misses: 10,
+                flushes: 1,
+                invalidations: 2,
+            },
+        );
+        s.push_extra("os.gate_calls_hcs", 5);
+        s
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let json = sample_snapshot().to_json();
+        for needle in [
+            "\"crossings\"",
+            "\"call_down\": 1",
+            "\"return_up\": 1",
+            "\"matrix\"",
+            "\"faults\"",
+            "\"timer_runout\": 1",
+            "\"opcode_classes\"",
+            "\"histograms\"",
+            "\"call_cycles\"",
+            "\"heatmap\"",
+            "\"segno\": 10",
+            "\"sdw_cache\"",
+            "\"hits\": 90",
+            "\"os.gate_calls_hcs\": 5",
+            "\"tpr_maximisations\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let json = sample_snapshot().to_json();
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced brackets:\n{json}");
+        // No trailing commas before a closing bracket — the usual
+        // hand-rolled-JSON failure.
+        assert!(!json.contains(",\n}") && !json.contains(",\n]"), "{json}");
+        assert!(!json.contains(", }") && !json.contains(", ]"), "{json}");
+    }
+
+    #[test]
+    fn csv_is_flat_key_value() {
+        let csv = sample_snapshot().to_csv();
+        assert!(csv.starts_with("key,value\n"));
+        assert!(csv.contains("crossings.call_down,1\n"));
+        assert!(csv.contains("sdw_cache.hits,90\n"));
+        assert!(csv.contains("extra.os.gate_calls_hcs,5\n"));
+        for line in csv.lines() {
+            assert_eq!(line.matches(',').count(), 1, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn crossing_lookup_by_key() {
+        let s = sample_snapshot();
+        assert_eq!(s.crossing("call_down"), Some(1));
+        assert_eq!(s.crossing("upward_call_trap"), Some(0));
+        assert_eq!(s.crossing("nonsense"), None);
+    }
+}

@@ -278,6 +278,33 @@ impl System {
         self.state.borrow().stats
     }
 
+    /// Turns on the machine's metrics recorder (ring crossings, faults,
+    /// cycle histograms, per-segment heatmap).
+    pub fn enable_metrics(&mut self) {
+        self.machine.enable_metrics();
+    }
+
+    /// Builds the unified observability snapshot: machine metrics and
+    /// SDW-cache statistics, plus the supervisor's `os.*` counters and
+    /// per-process crossing counts in the `extra` section.
+    pub fn metrics_snapshot(&self) -> ring_metrics::MetricsSnapshot {
+        let mut snap = self.machine.metrics_snapshot();
+        let st = self.state.borrow();
+        for (k, v) in st.stats.export_pairs() {
+            snap.push_extra(k, v);
+        }
+        for (pid, p) in st.processes.iter().enumerate() {
+            snap.push_extra(format!("os.proc.{pid}.gate_calls"), p.gate_calls);
+            snap.push_extra(format!("os.proc.{pid}.upward_calls"), p.upward_calls);
+        }
+        snap
+    }
+
+    /// The unified snapshot serialized as JSON.
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().to_json()
+    }
+
     /// What the typewriter on the standard channel has printed.
     pub fn tty_printed(&self) -> String {
         self.machine

@@ -83,6 +83,9 @@ pub fn install(machine: &mut Machine, state: Rc<RefCell<OsState>>) {
     machine.register_native(SegNo::new(segs::HCS).expect("segno"), move |m, entry| {
         let mut s = st.borrow_mut();
         s.stats.gate_calls_hcs += 1;
+        if !s.processes.is_empty() {
+            s.current_process_mut().gate_calls += 1;
+        }
         let status = hcs_entry(m, &mut s, entry.value());
         drop(s);
         m.set_a(Word::new(status));
@@ -93,6 +96,9 @@ pub fn install(machine: &mut Machine, state: Rc<RefCell<OsState>>) {
     machine.register_native(SegNo::new(segs::RING1).expect("segno"), move |m, entry| {
         let mut s = st.borrow_mut();
         s.stats.gate_calls_ring1 += 1;
+        if !s.processes.is_empty() {
+            s.current_process_mut().gate_calls += 1;
+        }
         let status = ring1_entry(m, &mut s, entry.value());
         drop(s);
         m.set_a(Word::new(status));

@@ -45,6 +45,10 @@ pub struct ProcessState {
     pub return_gates: Vec<(Ring, Ipr)>,
     /// Abort reason if the supervisor terminated the process.
     pub aborted: Option<String>,
+    /// Gate transits (HCS + ring-1) made by this process.
+    pub gate_calls: u64,
+    /// Software-mediated upward calls made by this process.
+    pub upward_calls: u64,
 }
 
 impl ProcessState {
@@ -63,6 +67,8 @@ impl ProcessState {
             saved: None,
             return_gates: Vec::new(),
             aborted: None,
+            gate_calls: 0,
+            upward_calls: 0,
         }
     }
 

@@ -97,14 +97,12 @@ pub fn svc_initiate(m: &mut Machine, st: &mut OsState, path: &str) -> Result<u32
     })?;
     m.charge((st.fs.search_steps - steps_before) * cost::SEARCH_PER_ENTRY);
     let user = st.current_process().user.clone();
-    let entry = st
-        .fs
-        .segment(id)
-        .acl
-        .lookup(&user)
-        .cloned()
-        .ok_or(status::NO_ACCESS)?;
+    let Some(entry) = st.fs.segment(id).acl.lookup(&user).cloned() else {
+        st.stats.acl_denials += 1;
+        return Err(status::NO_ACCESS);
+    };
     if !(entry.modes.read || entry.modes.write || entry.modes.execute) {
+        st.stats.acl_denials += 1;
         return Err(status::NO_ACCESS);
     }
     if let Some(existing) = st.current_process().segno_of(id) {
@@ -160,11 +158,10 @@ pub fn svc_set_acl(
     m.charge(cost::SET_ACL);
     let id = st.fs.resolve(path).map_err(|_| status::NOT_FOUND)?;
     let entry = AclEntry::new(for_user, modes, rings, gates).ok_or(status::BAD_ARG)?;
-    st.fs
-        .segment_mut(id)
-        .acl
-        .set(entry, caller_ring)
-        .map_err(|_| status::SOLE_OCCUPANT)?;
+    if st.fs.segment_mut(id).acl.set(entry, caller_ring).is_err() {
+        st.stats.acl_denials += 1;
+        return Err(status::SOLE_OCCUPANT);
+    }
     // Immediate effectiveness for the current process.
     let user = st.current_process().user.clone();
     if let Some(segno) = st.current_process().segno_of(id) {

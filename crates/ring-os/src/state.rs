@@ -45,6 +45,31 @@ pub struct SupervisorStats {
     pub gate_calls_ring1: u64,
     /// Processes aborted on unhandled faults.
     pub aborts: u64,
+    /// Requests refused by ACL lookup (no entry, or no modes granted).
+    pub acl_denials: u64,
+}
+
+impl SupervisorStats {
+    /// Flattens the counters into namespaced `os.*` pairs for a metrics
+    /// snapshot's `extra` section.
+    pub fn export_pairs(&self) -> Vec<(String, u64)> {
+        vec![
+            ("os.segment_faults".into(), self.segment_faults),
+            ("os.page_faults".into(), self.page_faults),
+            ("os.upward_calls".into(), self.upward_calls),
+            ("os.downward_returns".into(), self.downward_returns),
+            (
+                "os.forged_returns_refused".into(),
+                self.forged_returns_refused,
+            ),
+            ("os.schedules".into(), self.schedules),
+            ("os.io_completions".into(), self.io_completions),
+            ("os.gate_calls_hcs".into(), self.gate_calls_hcs),
+            ("os.gate_calls_ring1".into(), self.gate_calls_ring1),
+            ("os.aborts".into(), self.aborts),
+            ("os.acl_denials".into(), self.acl_denials),
+        ]
+    }
 }
 
 /// The supervisor's in-memory state.

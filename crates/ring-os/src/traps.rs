@@ -79,6 +79,9 @@ fn dispatch(
         }
         vector::UPWARD_CALL => {
             s.stats.upward_calls += 1;
+            if !s.processes.is_empty() {
+                s.current_process_mut().upward_calls += 1;
+            }
             upward_call(m, s)
         }
         vector::DOWNWARD_RETURN => {

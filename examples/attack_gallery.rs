@@ -11,8 +11,9 @@ use multiring::os::conventions::segs;
 use multiring::os::System;
 use ring_bench::tables::argument_attack_succeeds;
 
-fn run_attack(name: &str, src: &str, mechanism: &str) {
+fn run_attack(name: &str, src: &str, mechanism: &str) -> multiring::metrics::MetricsSnapshot {
     let mut sys = System::boot();
+    sys.enable_metrics();
     let pid = sys.login("mallory");
     let code = sys.install_code(pid, Ring::R4, Ring::R4, 0, src);
     sys.run_user(pid, code.segno, 0, Ring::R4, 2_000);
@@ -22,12 +23,14 @@ fn run_attack(name: &str, src: &str, mechanism: &str) {
         .unwrap_or_else(|| "STILL RUNNING".into());
     assert_ne!(verdict, "exit", "attack must not complete cleanly");
     println!("[blocked] {name}\n          fault: {verdict}\n          mechanism: {mechanism}\n");
+    sys.metrics_snapshot()
 }
 
 fn main() {
     println!("every attack below runs as real machine code in ring 4\n");
+    let mut snaps = Vec::new();
 
-    run_attack(
+    snaps.push(run_attack(
         "read supervisor data directly",
         &format!(
             "
@@ -39,9 +42,9 @@ p:      its 4, {}, 0
             segs::SUP_DATA
         ),
         "read bracket [0, R2] in the SDW (Fig. 6)",
-    );
+    ));
 
-    run_attack(
+    snaps.push(run_attack(
         "write the trap vectors",
         &format!(
             "
@@ -53,9 +56,9 @@ p:      its 4, {}, 0
             segs::TRAP
         ),
         "write bracket [0, R1] in the SDW (Fig. 6)",
-    );
+    ));
 
-    run_attack(
+    snaps.push(run_attack(
         "jump into the middle of the supervisor (skip the gate)",
         &format!(
             "
@@ -68,9 +71,9 @@ p:      its 4, {}, 12
         ),
         "ordinary transfers cannot change the ring; the advance check \
          refuses execution outside the bracket (Fig. 7)",
-    );
+    ));
 
-    run_attack(
+    snaps.push(run_attack(
         "CALL a non-gate word of the supervisor",
         &format!(
             "
@@ -84,9 +87,9 @@ p:      its 4, {}, 12
         ),
         "the gate list: transfers from above the bracket must enter at \
          words 0..SDW.GATE (Fig. 8)",
-    );
+    ));
 
-    run_attack(
+    snaps.push(run_attack(
         "forge a RETURN into ring 1",
         &format!(
             "
@@ -100,7 +103,7 @@ p:      its 0, {}, 0        ; forged ring field: 0
         "the effective ring is a running max seeded with the ring of \
          execution; the downward return traps and the supervisor finds \
          no matching return gate (Fig. 9 + software)",
-    );
+    ));
 
     // The confused-deputy argument attack, with and without the
     // effective-ring rules (the T6 ablation).
@@ -136,4 +139,27 @@ p:      its 0, {}, 0        ; forged ring field: 0
 
     let _ = Word::ZERO;
     println!("7 attacks, 7 distinct mechanisms, 0 successes");
+
+    // What the observability layer recorded across the machine-code
+    // attacks: every blocked attempt shows up as a fault, and the
+    // heatmap names the segments that were probed.
+    let faults: u64 = snaps.iter().map(|s| s.faults_total).sum();
+    let violations: u64 = snaps
+        .iter()
+        .flat_map(|s| s.heatmap.iter())
+        .map(|(_, h)| h.violations)
+        .sum();
+    let instructions: u64 = snaps.iter().map(|s| s.instructions).sum();
+    let mut probed: Vec<u32> = snaps
+        .iter()
+        .flat_map(|s| s.heatmap.iter())
+        .filter(|(_, h)| h.violations > 0)
+        .map(|(segno, _)| *segno)
+        .collect();
+    probed.sort_unstable();
+    probed.dedup();
+    println!(
+        "\nmetrics: {instructions} attack instructions, {faults} faults, \
+         {violations} bracket violations (segments probed: {probed:?})"
+    );
 }

@@ -15,6 +15,7 @@ use multiring::os::System;
 fn main() {
     // --- Attempt 1: bob reads the sensitive data directly ------------
     let mut sys = System::boot();
+    sys.enable_metrics();
     let pid = sys.login("bob");
     let sensitive: Vec<Word> = (0..8).map(|i| Word::new(1000 + i)).collect();
     let sub = subsystems::install(&mut sys, pid, "alice", &sensitive);
@@ -39,7 +40,23 @@ datap:  its 4, {}, 0
     assert!(reason.contains("access violation"));
 
     // --- Attempt 2: bob calls through alice's audit gate --------------
+    let snap = sys.metrics_snapshot();
+    println!(
+        "metrics: {} faults; segment {} saw {} violation(s) out of {} read attempt(s)",
+        snap.faults_total,
+        sub.data_segno,
+        snap.heatmap
+            .iter()
+            .find(|(segno, _)| *segno == sub.data_segno)
+            .map_or(0, |(_, h)| h.violations),
+        snap.heatmap
+            .iter()
+            .find(|(segno, _)| *segno == sub.data_segno)
+            .map_or(0, |(_, h)| h.reads),
+    );
+
     let mut sys = System::boot();
+    sys.enable_metrics();
     let pid = sys.login("bob");
     let sub = subsystems::install(&mut sys, pid, "alice", &sensitive);
     let mut data = vec![Word::new(3)]; // index to read
@@ -83,4 +100,21 @@ args:   its 4, {sc}, 0      ; arg0: index
         "no supervisor gate was involved — the subsystem protects itself"
     );
     println!("supervisor involvement: none (rings 2-3 protect user subsystems by themselves)");
+
+    // The gated run, as the observability layer saw it: the crossings
+    // are hardware call/returns into ring 2 and back, with no trap.
+    let snap = sys.metrics_snapshot();
+    let crossings: Vec<String> = snap
+        .crossings
+        .iter()
+        .filter(|(_, v)| *v > 0)
+        .map(|(k, v)| format!("{v} {k}"))
+        .collect();
+    println!(
+        "metrics: crossings {} ({} ring changes), {} fault(s), sdw cache {:.0}% hit",
+        crossings.join(", "),
+        snap.ring_changes,
+        snap.faults_total,
+        100.0 * snap.sdw_cache.hit_ratio(),
+    );
 }

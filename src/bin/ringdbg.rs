@@ -14,8 +14,14 @@
 //! d <w> [n]    disassemble n words of the code segment at word w
 //! m <s> <w> [n]  dump n words of segment s at word w
 //! b <w>        toggle a breakpoint at code word w
+//! stats        metrics snapshot: crossings, faults, SDW cache
+//! trace [--json]  drain the execution trace (JSON lines with --json)
 //! q            quit
 //! ```
+//!
+//! Execution tracing and the metrics recorder are always on in the
+//! debugger; `trace` drains the drop-oldest ring buffer (sequence
+//! numbers show how many earlier events were discarded).
 
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
@@ -27,8 +33,52 @@ use multiring::core::sdw::SdwBuilder;
 use multiring::cpu::machine::StepOutcome;
 use multiring::cpu::native::NativeAction;
 use multiring::cpu::testkit::World;
+use multiring::cpu::TraceEvent;
+use multiring::metrics::json_escape;
 
 const CODE_SEG: u32 = 10;
+
+/// One trace event as a JSON object (for `trace --json`).
+fn trace_event_json(seq: u64, ev: &TraceEvent) -> String {
+    let body = match ev {
+        TraceEvent::Instr { at, instr } => format!(
+            "\"kind\": \"instr\", \"ring\": {}, \"segno\": {}, \"wordno\": {}, \
+             \"mnemonic\": \"{}\", \"offset\": {}",
+            at.ring.number(),
+            at.addr.segno.value(),
+            at.addr.wordno.value(),
+            instr.opcode.mnemonic(),
+            instr.offset
+        ),
+        TraceEvent::Call { from, to, new_ring } => format!(
+            "\"kind\": \"call\", \"from_ring\": {}, \"to_ring\": {}, \
+             \"target_segno\": {}, \"target_wordno\": {}",
+            from.ring.number(),
+            new_ring.number(),
+            to.segno.value(),
+            to.wordno.value()
+        ),
+        TraceEvent::Return { from, to, new_ring } => format!(
+            "\"kind\": \"return\", \"from_ring\": {}, \"to_ring\": {}, \
+             \"target_segno\": {}, \"target_wordno\": {}",
+            from.ring.number(),
+            new_ring.number(),
+            to.segno.value(),
+            to.wordno.value()
+        ),
+        TraceEvent::Trap { fault } => format!(
+            "\"kind\": \"trap\", \"vector\": {}, \"fault\": \"{}\"",
+            fault.vector(),
+            json_escape(&fault.to_string())
+        ),
+        TraceEvent::Native { segno, entry } => format!(
+            "\"kind\": \"native\", \"segno\": {}, \"entry\": {}",
+            segno.value(),
+            entry.value()
+        ),
+    };
+    format!("{{\"seq\": {seq}, {body}}}")
+}
 
 fn print_regs(w: &World) {
     let m = &w.machine;
@@ -118,6 +168,8 @@ fn main() -> ExitCode {
         world.poke(code, i as u32, *w);
     }
     world.start(ring, code, 0);
+    world.machine.enable_trace(4096);
+    world.machine.enable_metrics();
     println!(
         "loaded {} words into segment {CODE_SEG}; ring {ring}",
         image.len()
@@ -140,6 +192,7 @@ fn main() -> ExitCode {
             ["help"] | ["h"] => {
                 println!("s [n] step | r regs | g [n] run | d <w> [n] disasm");
                 println!("m <s> <w> [n] memory | seg <s> descriptor | b <w> breakpoint | q quit");
+                println!("stats metrics snapshot | trace [--json] drain execution trace");
             }
             ["r"] => print_regs(&world),
             ["s", rest @ ..] => {
@@ -206,6 +259,72 @@ fn main() -> ExitCode {
                 }
                 _ => println!("  seg <segno 0..63>"),
             },
+            ["stats"] => {
+                let snap = world.machine.metrics_snapshot();
+                println!(
+                    "  {} instructions, {} cycles",
+                    snap.instructions, snap.cycles
+                );
+                let crossings: Vec<String> = snap
+                    .crossings
+                    .iter()
+                    .filter(|(_, v)| *v > 0)
+                    .map(|(k, v)| format!("{v} {k}"))
+                    .collect();
+                println!(
+                    "  crossings: {} ({} ring changes)",
+                    if crossings.is_empty() {
+                        "none recorded".to_string()
+                    } else {
+                        crossings.join(", ")
+                    },
+                    snap.ring_changes
+                );
+                println!("  faults: {}", snap.faults_total);
+                let cs = snap.sdw_cache;
+                println!(
+                    "  sdw cache: {} hits, {} misses ({:.1}% hit)",
+                    cs.hits,
+                    cs.misses,
+                    100.0 * cs.hit_ratio()
+                );
+                if snap.call_cycles.count > 0 {
+                    println!(
+                        "  call path: {} calls, {:.1} cycles mean (min {}, max {})",
+                        snap.call_cycles.count,
+                        snap.call_cycles.mean,
+                        snap.call_cycles.min,
+                        snap.call_cycles.max
+                    );
+                }
+                if snap.return_cycles.count > 0 {
+                    println!(
+                        "  return path: {} returns, {:.1} cycles mean (min {}, max {})",
+                        snap.return_cycles.count,
+                        snap.return_cycles.mean,
+                        snap.return_cycles.min,
+                        snap.return_cycles.max
+                    );
+                }
+            }
+            ["trace", rest @ ..] => {
+                let dropped = world.machine.trace_dropped();
+                let events = world.machine.take_trace_seq();
+                if dropped > 0 {
+                    println!("  ({dropped} earlier events dropped by the ring buffer)");
+                }
+                if events.is_empty() {
+                    println!("  (trace empty — step or run first)");
+                }
+                let as_json = rest.first() == Some(&"--json");
+                for (seq, ev) in &events {
+                    if as_json {
+                        println!("{}", trace_event_json(*seq, ev));
+                    } else {
+                        println!("{seq:>6}  {ev}");
+                    }
+                }
+            }
             ["b", at] => {
                 let at: u32 = at.parse().unwrap_or(0);
                 if let Some(pos) = breakpoints.iter().position(|&b| b == at) {

@@ -21,7 +21,11 @@
 //! run <segno> [entry]      run the current process from segno|entry
 //! cat <path>               print a stored segment's first words
 //! ps                       list processes
-//! stats                    supervisor + machine statistics
+//! stats                    supervisor + machine statistics, ring
+//!                          crossings and SDW-cache behaviour
+//! heatmap                  per-segment access counts (R/W/E/violations)
+//! metrics [file]           dump the full JSON snapshot (to a file, or
+//!                          the terminal)
 //! tty                      show what the typewriter has printed
 //! audit                    show the audit subsystem log
 //! quit
@@ -54,7 +58,7 @@ impl Shell {
             ["quit"] | ["q"] | ["exit"] => return false,
             ["help"] | ["h"] => {
                 println!("login <user> | create <path> [words...] | share <path> <user> <r|rw|re>");
-                println!("asm <file> | run <segno> [entry] | cat <path> | ps | logout | stats | tty | audit | quit");
+                println!("asm <file> | run <segno> [entry] | cat <path> | ps | logout | stats | heatmap | metrics [file] | tty | audit | quit");
             }
             ["login", user] => {
                 let pid = self.sys.login(user);
@@ -231,9 +235,69 @@ impl Shell {
                     m.returns_upward
                 );
                 println!(
-                    "  supervisor: {} hcs calls, {} ring-1 calls, {} seg faults, {} page faults, {} schedules",
-                    s.gate_calls_hcs, s.gate_calls_ring1, s.segment_faults, s.page_faults, s.schedules
+                    "  supervisor: {} hcs calls, {} ring-1 calls, {} seg faults, {} page faults, {} schedules, {} acl denials",
+                    s.gate_calls_hcs, s.gate_calls_ring1, s.segment_faults, s.page_faults, s.schedules, s.acl_denials
                 );
+                let snap = self.sys.metrics_snapshot();
+                let crossings: Vec<String> = snap
+                    .crossings
+                    .iter()
+                    .filter(|(_, v)| *v > 0)
+                    .map(|(k, v)| format!("{v} {k}"))
+                    .collect();
+                println!(
+                    "  crossings: {} ({} ring changes)",
+                    if crossings.is_empty() {
+                        "none recorded".to_string()
+                    } else {
+                        crossings.join(", ")
+                    },
+                    snap.ring_changes
+                );
+                let cs = self.sys.machine.sdw_cache_stats();
+                println!(
+                    "  sdw cache: {} hits, {} misses ({:.1}% hit), {} flushes, {} invalidations",
+                    cs.hits,
+                    cs.misses,
+                    100.0 * cs.hit_ratio(),
+                    cs.flushes,
+                    cs.invalidations
+                );
+                if snap.call_cycles.count > 0 {
+                    println!(
+                        "  call path: {} calls, {:.1} cycles mean (min {}, max {}); return path: {} returns, {:.1} mean",
+                        snap.call_cycles.count,
+                        snap.call_cycles.mean,
+                        snap.call_cycles.min,
+                        snap.call_cycles.max,
+                        snap.return_cycles.count,
+                        snap.return_cycles.mean
+                    );
+                }
+            }
+            ["heatmap"] => {
+                let snap = self.sys.metrics_snapshot();
+                if snap.heatmap.is_empty() {
+                    println!("  (no references recorded — run something first)");
+                } else {
+                    println!("  segno      reads     writes   executes violations");
+                    for (segno, h) in &snap.heatmap {
+                        println!(
+                            "  {segno:<6} {:>9} {:>10} {:>10} {:>10}",
+                            h.reads, h.writes, h.executes, h.violations
+                        );
+                    }
+                }
+            }
+            ["metrics", rest @ ..] => {
+                let json = self.sys.metrics_json();
+                match rest.first() {
+                    Some(path) => match std::fs::write(path, &json) {
+                        Ok(()) => println!("  wrote {} bytes to {path}", json.len()),
+                        Err(e) => println!("  cannot write {path}: {e}"),
+                    },
+                    None => print!("{json}"),
+                }
             }
             ["tty"] => {
                 println!("  typewriter: {:?}", self.sys.tty_printed());
@@ -258,10 +322,10 @@ impl Shell {
 
 fn main() -> ExitCode {
     println!("multiring shell — `help` for commands");
-    let mut shell = Shell {
-        sys: System::boot(),
-        current: None,
-    };
+    let mut sys = System::boot();
+    // The shell is an observability surface; always record metrics.
+    sys.enable_metrics();
+    let mut shell = Shell { sys, current: None };
     let stdin = std::io::stdin();
     loop {
         print!("ring> ");

@@ -3,13 +3,18 @@
 //!
 //! ```text
 //! runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm]
+//!                    [--metrics-out <file.json|file.csv>]
 //! ```
 //!
 //! The program is loaded into segment 10 of a bare world (standard
 //! per-ring stacks at segments 48–55, a data segment at 11, a trap
 //! segment that halts on any fault) and executed in the chosen ring
 //! (default 4). Exit with `drl 0o777`. `--disasm` prints the assembled
-//! image instead of running.
+//! image instead of running. `--metrics-out` enables the metrics
+//! recorder and writes the full observability snapshot — ring-crossing
+//! counters, fault accounting, cycle histograms, the per-segment
+//! heatmap and SDW-cache statistics — to the named file (CSV when the
+//! name ends in `.csv`, JSON otherwise; see `docs/OBSERVABILITY.md`).
 
 use std::process::ExitCode;
 
@@ -25,6 +30,7 @@ struct Options {
     budget: u64,
     trace: bool,
     disasm: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -35,6 +41,7 @@ fn parse_args() -> Result<Options, String> {
         budget: 100_000,
         trace: false,
         disasm: false,
+        metrics_out: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -53,9 +60,13 @@ fn parse_args() -> Result<Options, String> {
             }
             "--trace" => opts.trace = true,
             "--disasm" => opts.disasm = true,
+            "--metrics-out" => {
+                opts.metrics_out = Some(args.next().ok_or("--metrics-out takes a file name")?);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm]"
+                    "usage: runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm] \
+                     [--metrics-out <file>]"
                         .to_string(),
                 )
             }
@@ -122,6 +133,9 @@ fn main() -> ExitCode {
     if opts.trace {
         world.machine.enable_trace(4096);
     }
+    if opts.metrics_out.is_some() {
+        world.machine.enable_metrics();
+    }
     world.start(ring, code, 0);
     let exit = world.machine.run(opts.budget);
 
@@ -139,5 +153,24 @@ fn main() -> ExitCode {
         m.cycles(),
         m.stats().instructions
     );
+    if let Some(path) = &opts.metrics_out {
+        let snap = m.metrics_snapshot();
+        let body = if path.ends_with(".csv") {
+            snap.to_csv()
+        } else {
+            snap.to_json()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "metrics: {} crossings ({} ring changes), {} faults, sdw cache {:.0}% hit -> {path}",
+            snap.crossings.iter().map(|(_, v)| v).sum::<u64>(),
+            snap.ring_changes,
+            snap.faults_total,
+            100.0 * snap.sdw_cache.hit_ratio()
+        );
+    }
     ExitCode::SUCCESS
 }

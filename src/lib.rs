@@ -19,6 +19,9 @@
 //! * [`os`] (`ring-os`) — ACLs, processes, a layered supervisor (rings
 //!   0–1), user protected subsystems (ring 2), and the evaluation
 //!   baselines (645-style software rings; two-mode machine).
+//! * [`metrics`] (`ring-metrics`) — the observability layer: ring-
+//!   crossing telemetry, fault accounting, cycle histograms, per-segment
+//!   heatmaps, and JSON/CSV export (see `docs/OBSERVABILITY.md`).
 //!
 //! # Quickstart
 //!
@@ -43,5 +46,6 @@
 pub use ring_asm as asm;
 pub use ring_core as core;
 pub use ring_cpu as cpu;
+pub use ring_metrics as metrics;
 pub use ring_os as os;
 pub use ring_segmem as segmem;

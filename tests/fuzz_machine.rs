@@ -122,7 +122,7 @@ fn descriptor_corruption_cannot_widen_access() {
             let which = rng.gen_bool(0.5);
             let addr = if which { pair } else { pair.wrapping_add(1) };
             let cur = w.machine.phys().peek(addr).unwrap();
-            let flipped = Word::new(cur.raw() ^ (1 << rng.gen_range(0..36)));
+            let flipped = Word::new(cur.raw() ^ (1u64 << rng.gen_range(0..36u32)));
             w.machine.phys_mut().poke(addr, flipped).unwrap();
             w.machine.translator_mut().flush_cache();
 

@@ -1,0 +1,212 @@
+//! Integration tests of the observability layer (`ring-metrics`): the
+//! recorder must be a pure observer — bit-for-bit identical
+//! architectural state with metrics on or off — and its counters must
+//! agree with what a known workload actually does.
+
+use multiring::core::addr::SegAddr;
+use multiring::core::registers::{Dbr, Ipr, PtrReg};
+use multiring::core::ring::Ring;
+use multiring::core::sdw::SdwBuilder;
+use multiring::core::word::Word;
+use multiring::core::{AbsAddr, SegNo};
+use multiring::cpu::machine::{Machine, MachineConfig, RunExit};
+use multiring::cpu::native::NativeAction;
+use multiring::cpu::testkit::World;
+use multiring::os::conventions::{gate_addr, ring1, segs};
+use multiring::os::driver::gen_call_sequence;
+use multiring::os::System;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds one randomly-filled machine from `seed` (the fuzz_machine
+/// recipe): random physical memory, random DBR, random start state —
+/// every fault path gets exercised.
+fn random_machine(seed: u64, enable_metrics: bool) -> Machine {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let words = 4 * 1024;
+    let mut m = Machine::new(words, MachineConfig::default());
+    if enable_metrics {
+        m.enable_metrics();
+    }
+    for a in 0..words as u32 {
+        if rng.gen_bool(0.7) {
+            m.phys_mut()
+                .poke(AbsAddr::new(a).unwrap(), Word::new(rng.gen()))
+                .unwrap();
+        }
+    }
+    m.load_dbr(Dbr::new(
+        AbsAddr::new(rng.gen_range(0..words as u32)).unwrap(),
+        rng.gen_range(0..64),
+        SegNo::new(rng.gen_range(0..100)).unwrap(),
+    ));
+    let ring = Ring::new(rng.gen_range(0..8)).unwrap();
+    m.set_ipr(Ipr::new(
+        ring,
+        SegAddr::from_parts(rng.gen_range(0..64), rng.gen_range(0..1024)).unwrap(),
+    ));
+    for n in 0..8 {
+        m.set_pr(
+            n,
+            PtrReg::new(
+                Ring::new(rng.gen_range(0..8)).unwrap(),
+                SegAddr::from_parts(rng.gen_range(0..64), rng.gen_range(0..1024)).unwrap(),
+            ),
+        );
+    }
+    m
+}
+
+/// Asserts that two machines are in the same architectural state:
+/// registers, statistics, cycle count, and all of physical memory.
+fn assert_same_architecture(a: &Machine, b: &Machine, seed: u64) {
+    assert_eq!(a.ipr(), b.ipr(), "seed {seed}: IPR diverged");
+    assert_eq!(a.a(), b.a(), "seed {seed}: A diverged");
+    assert_eq!(a.q(), b.q(), "seed {seed}: Q diverged");
+    for n in 0..8 {
+        assert_eq!(a.pr(n), b.pr(n), "seed {seed}: PR{n} diverged");
+        assert_eq!(a.xreg(n), b.xreg(n), "seed {seed}: X{n} diverged");
+    }
+    assert_eq!(a.cycles(), b.cycles(), "seed {seed}: cycles diverged");
+    let (sa, sb) = (a.stats(), b.stats());
+    assert_eq!(
+        sa.instructions, sb.instructions,
+        "seed {seed}: instruction counts diverged"
+    );
+    assert_eq!(sa.traps, sb.traps, "seed {seed}: trap counts diverged");
+    for addr in 0..4 * 1024u32 {
+        let pa = AbsAddr::new(addr).unwrap();
+        assert_eq!(
+            a.phys().peek(pa),
+            b.phys().peek(pa),
+            "seed {seed}: memory diverged at {addr}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The recorder is a pure observer: running the same arbitrary
+    /// (garbage) machine with metrics enabled and disabled reaches a
+    /// bit-for-bit identical architectural state.
+    #[test]
+    fn metrics_never_change_architectural_state(seed in any::<u64>()) {
+        let mut plain = random_machine(seed, false);
+        let mut observed = random_machine(seed, true);
+        for _ in 0..200 {
+            let a = plain.step();
+            let b = observed.step();
+            prop_assert_eq!(a, b, "step outcomes diverged for seed {}", seed);
+            if a == multiring::cpu::machine::StepOutcome::Halted {
+                break;
+            }
+        }
+        assert_same_architecture(&plain, &observed, seed);
+        // And the observed run actually recorded something: the
+        // instruction counter mirrors the machine's own statistics.
+        let snap = observed.metrics_snapshot();
+        prop_assert!(snap.enabled);
+        prop_assert_eq!(snap.instructions, observed.stats().instructions);
+    }
+}
+
+/// A known workload measured exactly: `N` gate calls from ring 4 into a
+/// ring-1 service must record `N` hardware down-calls, `N` up-returns,
+/// the matching matrix cells, and exactly one trap (the exit derail).
+#[test]
+fn gate_calls_record_exact_crossing_counts() {
+    const CALLS: u64 = 3;
+    let mut w = World::new();
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(128),
+    );
+    let service = w.add_segment(
+        20,
+        SdwBuilder::procedure(Ring::R1, Ring::R1, Ring::R5)
+            .gates(1)
+            .bound_words(16),
+    );
+    w.add_standard_stacks(16);
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.machine
+        .register_native(service, |m, _| Ok(NativeAction::Return { via: m.pr(2) }));
+    let mut asm = String::new();
+    for i in 0..CALLS {
+        asm.push_str(&format!(
+            "        eap pr2, ret{i}\n        eap pr3, gatep,*\n        call pr3|0\nret{i}:  nop\n"
+        ));
+    }
+    asm.push_str("        drl 0o777\ngatep:  its 4, 20, 0\n");
+    let out = multiring::asm::assemble(&asm).expect("gate-call program");
+    for (i, word) in out.words.iter().enumerate() {
+        w.poke(code, i as u32, *word);
+    }
+    w.machine.enable_metrics();
+    w.start(Ring::R4, code, 0);
+    assert_eq!(w.machine.run(10_000), RunExit::Halted);
+
+    let snap = w.machine.metrics_snapshot();
+    assert_eq!(snap.crossing("call_down"), Some(CALLS));
+    assert_eq!(snap.crossing("return_up"), Some(CALLS));
+    assert_eq!(snap.crossing("call_same_ring"), Some(0));
+    assert_eq!(
+        snap.crossing("trap_to_ring0"),
+        Some(1),
+        "only the exit derail traps"
+    );
+    assert_eq!(snap.crossing("upward_call_trap"), Some(0));
+    assert_eq!(snap.crossing_matrix[4][1], CALLS, "CALL cells 4->1");
+    assert_eq!(snap.crossing_matrix[1][4], CALLS, "RETURN cells 1->4");
+    assert_eq!(snap.ring_changes, 2 * CALLS + 1);
+    assert_eq!(snap.faults_total, 1);
+    assert_eq!(snap.call_cycles.count, CALLS);
+    // The counters agree with the machine's own statistics.
+    let stats = w.machine.stats();
+    assert_eq!(snap.crossing("call_down"), Some(stats.calls_downward));
+    assert_eq!(snap.crossing("return_up"), Some(stats.returns_upward));
+}
+
+/// The supervisor's own counters ride along in the snapshot: a ring-1
+/// gate call from a logged-in process shows up both in the hardware
+/// crossing counters and in the `os.*` extras.
+#[test]
+fn system_snapshot_carries_supervisor_extras() {
+    let mut sys = System::boot();
+    sys.enable_metrics();
+    let pid = sys.login("alice");
+    let mut data = vec![Word::new(5)]; // units to charge
+    data.resize(16, Word::ZERO);
+    let scratch = sys.install_data(pid, Ring::R4, Ring::R4, &data, 64);
+    let calls = vec![(
+        gate_addr(segs::RING1, ring1::ACCT_CHARGE),
+        vec![SegAddr::from_parts(scratch.segno, 0).unwrap()],
+    )];
+    let seq = gen_call_sequence(Ring::R4, &calls);
+    let code = sys.install_code(pid, Ring::R4, Ring::R4, 0, &seq);
+    sys.prepare(pid, code.segno, 0, Ring::R4);
+    assert_eq!(sys.machine.run(100_000), RunExit::Halted);
+
+    let snap = sys.metrics_snapshot();
+    assert!(
+        snap.crossing("call_down").unwrap() >= 1,
+        "gate call crossed down"
+    );
+    assert!(snap.crossing("return_up").unwrap() >= 1);
+    let extra = |key: &str| {
+        snap.extra
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing extra {key}"))
+    };
+    assert_eq!(extra("os.gate_calls_ring1"), 1);
+    assert_eq!(extra(&format!("os.proc.{pid}.gate_calls")), 1);
+    // The JSON export carries the extras too.
+    let json = snap.to_json();
+    assert!(json.contains("\"os.gate_calls_ring1\": 1"));
+}

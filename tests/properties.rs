@@ -307,7 +307,7 @@ fn pr_invariant_over_random_programs() {
                 Opcode::Aos,
                 Opcode::Nop,
             ]
-            .get(rng.gen_range(0..10))
+            .get(rng.gen_range(0..10usize))
             .unwrap();
             let mut instr = Instr {
                 opcode: op,
