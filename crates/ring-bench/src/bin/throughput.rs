@@ -1,0 +1,299 @@
+//! Wall-clock throughput of the simulator, fast path versus the
+//! reference slow path.
+//!
+//! The fast-path engine (ring-checked translation lookaside +
+//! predecoded instruction cache) changes nothing architectural — the
+//! differential tests pin that — so the only honest way to show it
+//! earns its complexity is host wall-clock: simulated instructions per
+//! second with the engine on and off, over workloads that stress the
+//! paths it accelerates.
+//!
+//! ```text
+//! cargo run --release -p ring-bench --bin throughput [-- --quick] [--out FILE]
+//! ```
+//!
+//! Three workloads:
+//!
+//! * `tight_loop` — a same-ring counting loop: fetch + operand
+//!   read/write/AOS + taken transfer, all fast-path eligible.
+//! * `gate_storm` — a cross-ring CALL/RETURN round trip per iteration:
+//!   CALL and RETURN themselves always take the slow path, so this
+//!   bounds the speedup on crossing-heavy code.
+//! * `indirect_chain` — each iteration follows a three-deep indirect
+//!   chain, exercising the per-hop lookaside probes.
+//!
+//! The harness runs every workload under both engines (interleaved
+//! best-of-3, minimum wall-clock per engine), *asserts the simulated
+//! cycle counts and instruction counts are identical*, and writes a
+//! JSON report (schema `ring-bench/throughput/v1`, default
+//! `BENCH_throughput.json`) with both wall-clock numbers and the
+//! speedup. `--quick` shrinks iteration counts to one short pass for
+//! CI smoke runs; the report then carries `"quick": true` so nobody
+//! mistakes the numbers for measurements.
+
+use std::time::Instant;
+
+use ring_core::registers::{IndWord, PtrReg};
+use ring_core::ring::Ring;
+use ring_core::sdw::SdwBuilder;
+use ring_core::word::Word;
+use ring_cpu::isa::{Instr, Opcode};
+use ring_cpu::machine::{MachineConfig, RunExit};
+use ring_cpu::native::NativeAction;
+use ring_cpu::testkit::{addr, World};
+
+struct EngineRun {
+    seconds: f64,
+    ips: f64,
+    instructions: u64,
+    cycles: u64,
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    instructions: u64,
+    baseline: EngineRun,
+    fastpath: EngineRun,
+    speedup: f64,
+    cycles_equal: bool,
+}
+
+fn config(fastpath: bool) -> MachineConfig {
+    MachineConfig {
+        fastpath,
+        ..MachineConfig::default()
+    }
+}
+
+fn finish_world(mut w: World, code_seg: ring_core::addr::SegNo, source: &str) -> World {
+    let out = ring_asm::assemble(source).expect("workload program");
+    for (i, word) in out.words.iter().enumerate() {
+        w.poke(code_seg, i as u32, *word);
+    }
+    w.start(Ring::R4, code_seg, 0);
+    w
+}
+
+/// Same-ring counting loop: every instruction fast-path eligible and
+/// every operand a memory reference (no immediates), so each step pays
+/// the full validate/resolve sequence on the reference path.
+fn tight_loop(fastpath: bool, iters: u64) -> World {
+    let mut w = World::with_config(config(fastpath));
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(64),
+    );
+    let data = w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.poke(data, 0, Word::new(iters));
+    w.poke(data, 2, Word::new(1));
+    w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(11, 0)));
+    finish_world(
+        w,
+        code,
+        "
+loop:   aos pr1|1
+        lda pr1|0
+        sba pr1|2
+        sta pr1|0
+        tnz loop
+        drl 0o777
+",
+    )
+}
+
+/// One cross-ring CALL/RETURN round trip per iteration.
+fn gate_storm(fastpath: bool, iters: u64) -> World {
+    let mut w = World::with_config(config(fastpath));
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(64),
+    );
+    let data = w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    let gate = w.add_segment(
+        20,
+        SdwBuilder::procedure(Ring::R1, Ring::R1, Ring::R4)
+            .gates(1)
+            .bound_words(16),
+    );
+    w.add_standard_stacks(16);
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    // The gate body: immediately RETURN through the pointer the caller
+    // left in PR2 (real machine code, not a native stub, so fetches in
+    // ring 1 are part of the measured work).
+    w.poke_instr(gate, 0, Instr::pr_relative(Opcode::Return, 2, 0));
+    w.poke(data, 0, Word::new(iters));
+    w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(11, 0)));
+    finish_world(
+        w,
+        code,
+        "
+loop:   eap pr2, ret
+        eap pr3, gatep,*
+        call pr3|0
+ret:    lda pr1|0
+        sba =1
+        sta pr1|0
+        tnz loop
+        drl 0o777
+gatep:  its 1, 20, 0
+",
+    )
+}
+
+/// Each iteration loads through a three-deep indirect chain.
+fn indirect_chain(fastpath: bool, iters: u64) -> World {
+    let mut w = World::with_config(config(fastpath));
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(64),
+    );
+    let data = w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    let table = w.add_segment(12, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.write_ind_word(table, 0, IndWord::new(Ring::R4, addr(12, 2), true));
+    w.write_ind_word(table, 2, IndWord::new(Ring::R4, addr(12, 4), true));
+    w.write_ind_word(table, 4, IndWord::new(Ring::R4, addr(11, 2), false));
+    w.poke(data, 0, Word::new(iters));
+    w.poke(data, 2, Word::new(0o1234));
+    w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(11, 0)));
+    w.machine.set_pr(2, PtrReg::new(Ring::R4, addr(12, 0)));
+    finish_world(
+        w,
+        code,
+        "
+loop:   lda pr2|0,*
+        lda pr1|0
+        sba =1
+        sta pr1|0
+        tnz loop
+        drl 0o777
+",
+    )
+}
+
+fn run_engine(mut w: World, budget: u64) -> EngineRun {
+    let start = Instant::now();
+    let exit = w.machine.run(budget);
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(exit, RunExit::Halted, "workload did not run to completion");
+    let instructions = w.machine.stats().instructions;
+    EngineRun {
+        seconds,
+        ips: instructions as f64 / seconds.max(1e-9),
+        instructions,
+        cycles: w.machine.cycles(),
+    }
+}
+
+fn measure(
+    name: &'static str,
+    iters: u64,
+    passes: u32,
+    build: fn(bool, u64) -> World,
+) -> WorkloadReport {
+    let budget = 64 * iters + 10_000;
+    // Warm-up pass so page-cache / allocator noise lands outside the
+    // measured runs.
+    run_engine(build(true, iters.min(1000)), budget);
+    run_engine(build(false, iters.min(1000)), budget);
+    // Interleaved best-of-N: wall-clock minima are the standard robust
+    // statistic for microbenchmarks (anything slower than the minimum
+    // is the host interfering, not the workload), and interleaving the
+    // engines spreads slow host phases across both fairly.
+    let mut fast_best: Option<EngineRun> = None;
+    let mut base_best: Option<EngineRun> = None;
+    for _ in 0..passes.max(1) {
+        let f = run_engine(build(true, iters), budget);
+        if fast_best.as_ref().is_none_or(|b| f.seconds < b.seconds) {
+            fast_best = Some(f);
+        }
+        let b = run_engine(build(false, iters), budget);
+        if base_best.as_ref().is_none_or(|x| b.seconds < x.seconds) {
+            base_best = Some(b);
+        }
+    }
+    let fastpath = fast_best.expect("at least one pass");
+    let baseline = base_best.expect("at least one pass");
+    assert_eq!(
+        fastpath.cycles, baseline.cycles,
+        "{name}: simulated cycles diverged between engines"
+    );
+    assert_eq!(
+        fastpath.instructions, baseline.instructions,
+        "{name}: instruction counts diverged between engines"
+    );
+    WorkloadReport {
+        name,
+        instructions: fastpath.instructions,
+        speedup: fastpath.ips / baseline.ips.max(1e-9),
+        cycles_equal: fastpath.cycles == baseline.cycles,
+        baseline,
+        fastpath,
+    }
+}
+
+fn engine_json(run: &EngineRun) -> String {
+    format!(
+        "{{\"seconds\": {:.6}, \"ips\": {:.1}, \"instructions\": {}, \"cycles\": {}}}",
+        run.seconds, run.ips, run.instructions, run.cycles
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out = "BENCH_throughput.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            out = it.next().expect("--out takes a file name").clone();
+        }
+    }
+    let iters = if quick { 2_000 } else { 200_000 };
+    let passes = if quick { 1 } else { 3 };
+
+    let reports = [
+        measure("tight_loop", iters, passes, tight_loop),
+        measure("gate_storm", iters / 5, passes, gate_storm),
+        measure("indirect_chain", iters, passes, indirect_chain),
+    ];
+
+    println!(
+        "{:<16} {:>12} {:>14} {:>14} {:>9}",
+        "workload", "instructions", "baseline ips", "fastpath ips", "speedup"
+    );
+    for r in &reports {
+        println!(
+            "{:<16} {:>12} {:>14.0} {:>14.0} {:>8.2}x",
+            r.name, r.instructions, r.baseline.ips, r.fastpath.ips, r.speedup
+        );
+    }
+
+    let workloads = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"instructions\": {}, \"baseline\": {}, \"fastpath\": {}, \"speedup\": {:.3}, \"cycles_equal\": {}}}",
+                r.name,
+                r.instructions,
+                engine_json(&r.baseline),
+                engine_json(&r.fastpath),
+                r.speedup,
+                r.cycles_equal
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"schema\": \"ring-bench/throughput/v1\",\n  \"quick\": {quick},\n  \"workloads\": [\n{workloads}\n  ]\n}}\n"
+    );
+    std::fs::write(&out, json).expect("write report");
+    println!("wrote {out}");
+}

@@ -82,12 +82,27 @@ pub fn fold_indirect(
     containing_sdw: &Sdw,
     rules: EffectiveRingRules,
 ) -> Ring {
+    fold_indirect_parts(current, ind_ring, containing_sdw.r1, rules)
+}
+
+/// [`fold_indirect`] with the containing segment reduced to the one
+/// field the fold actually reads — its write-bracket top `R1`. The
+/// fast-path lookaside caches `R1` instead of whole SDWs and folds
+/// through this entry point; both paths share the same logic by
+/// construction.
+#[inline]
+pub fn fold_indirect_parts(
+    current: Ring,
+    ind_ring: Ring,
+    write_bracket_top: Ring,
+    rules: EffectiveRingRules,
+) -> Ring {
     let mut r = current;
     if rules.use_ind_ring {
         r = r.least_privileged(ind_ring);
     }
     if rules.use_write_bracket {
-        r = r.least_privileged(containing_sdw.r1);
+        r = r.least_privileged(write_bracket_top);
     }
     r
 }

@@ -47,6 +47,7 @@ pub mod oracle;
 pub mod registers;
 pub mod ring;
 pub mod sdw;
+pub mod summary;
 pub mod validate;
 pub mod word;
 

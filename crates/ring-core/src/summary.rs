@@ -1,0 +1,153 @@
+//! Precomputed access verdicts for one SDW — the pure core of the
+//! fast-path lookaside.
+//!
+//! The Fig. 4/6 validation predicates ([`crate::validate`]) decide, for
+//! a given SDW, whether a reference of some mode from some ring is
+//! permitted. For a *fixed* SDW the decision depends only on
+//! `(ring, mode)` — 24 possibilities — plus the bound check on the word
+//! number. [`AccessSummary`] evaluates all 24 up front into one bitmask
+//! so a cached translation can re-check an access with a single bit
+//! test instead of re-running the bracket logic. It is a pure
+//! precomputation: for every `(ring, mode)` the summary answers exactly
+//! what the corresponding `validate::check_*` function would (a property
+//! the tests verify exhaustively), so caching it can never change an
+//! architectural outcome — only the wall-clock cost of reaching it.
+
+use crate::access::AccessMode;
+use crate::ring::{Ring, NUM_RINGS};
+use crate::sdw::Sdw;
+
+/// The 24-entry `(ring, mode)` verdict grid of one SDW, plus the two
+/// non-ring facts the fast path needs: the segment length and the top
+/// of the write bracket (`R1`, folded into effective-ring formation at
+/// every indirect word).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessSummary {
+    /// Bit `ring * 3 + mode_index` set means the reference is allowed
+    /// (presence, permission flag, and bracket all pass). Mode indices:
+    /// Read = 0, Write = 1, Execute = 2.
+    mask: u32,
+    /// Segment length in words; `0` when the segment is absent (every
+    /// word is then out of bounds, matching the segment-fault-first
+    /// ordering of the checks).
+    pub length_words: u32,
+    /// Top of the write bracket (`SDW.R1`), for Fig. 5 indirect folds.
+    pub r1: Ring,
+}
+
+fn mode_index(mode: AccessMode) -> u32 {
+    match mode {
+        AccessMode::Read => 0,
+        AccessMode::Write => 1,
+        AccessMode::Execute => 2,
+    }
+}
+
+impl AccessSummary {
+    /// Precomputes the verdict grid for `sdw`.
+    pub fn of(sdw: &Sdw) -> AccessSummary {
+        let mut mask = 0u32;
+        if sdw.present {
+            for n in 0..NUM_RINGS {
+                let ring = Ring::new(n).expect("ring in range");
+                if sdw.read && sdw.read_bracket().contains(ring) {
+                    mask |= 1 << (u32::from(n) * 3);
+                }
+                if sdw.write && sdw.write_bracket().contains(ring) {
+                    mask |= 1 << (u32::from(n) * 3 + 1);
+                }
+                if sdw.execute && sdw.execute_bracket().contains(ring) {
+                    mask |= 1 << (u32::from(n) * 3 + 2);
+                }
+            }
+        }
+        AccessSummary {
+            mask,
+            length_words: if sdw.present { sdw.length_words() } else { 0 },
+            r1: sdw.r1,
+        }
+    }
+
+    /// Whether a reference of `mode` from `ring` passes presence, the
+    /// permission flag, and the bracket check. Bounds are separate:
+    /// combine with [`AccessSummary::length_words`].
+    #[inline]
+    pub fn allows(&self, ring: Ring, mode: AccessMode) -> bool {
+        self.mask & (1 << (u32::from(ring.number()) * 3 + mode_index(mode))) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::SegAddr;
+    use crate::sdw::SdwBuilder;
+    use crate::validate;
+
+    /// Every `(ring, mode)` verdict of the summary must equal the
+    /// corresponding validate predicate, over a sweep of bracket
+    /// configurations and flag combinations (in-bounds address, so the
+    /// only differences exercised are presence, flags, and brackets).
+    #[test]
+    fn summary_matches_validate_exhaustively() {
+        let addr = SegAddr::from_parts(3, 0).unwrap();
+        for r1 in 0..NUM_RINGS {
+            for r2 in r1..NUM_RINGS {
+                for flags in 0..16u32 {
+                    let sdw = SdwBuilder::new()
+                        .rings(
+                            Ring::new(r1).unwrap(),
+                            Ring::new(r2).unwrap(),
+                            Ring::new(r2).unwrap(),
+                        )
+                        .read(flags & 1 != 0)
+                        .write(flags & 2 != 0)
+                        .execute(flags & 4 != 0)
+                        .present(flags & 8 != 0)
+                        .bound_words(16)
+                        .build();
+                    let summary = AccessSummary::of(&sdw);
+                    for ring in Ring::all() {
+                        assert_eq!(
+                            summary.allows(ring, AccessMode::Read),
+                            validate::check_read(&sdw, addr, ring).is_ok(),
+                            "read {sdw:?} ring {ring}"
+                        );
+                        assert_eq!(
+                            summary.allows(ring, AccessMode::Write),
+                            validate::check_write(&sdw, addr, ring).is_ok(),
+                            "write {sdw:?} ring {ring}"
+                        );
+                        assert_eq!(
+                            summary.allows(ring, AccessMode::Execute),
+                            validate::check_fetch(&sdw, addr, ring).is_ok(),
+                            "fetch {sdw:?} ring {ring}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absent_segment_has_zero_length_and_no_access() {
+        let sdw = SdwBuilder::data(Ring::R4, Ring::R4).present(false).build();
+        let s = AccessSummary::of(&sdw);
+        assert_eq!(s.length_words, 0);
+        for ring in Ring::all() {
+            assert!(!s.allows(ring, AccessMode::Read));
+            assert!(!s.allows(ring, AccessMode::Write));
+            assert!(!s.allows(ring, AccessMode::Execute));
+        }
+    }
+
+    #[test]
+    fn length_and_r1_are_carried() {
+        let sdw = SdwBuilder::procedure(Ring::R2, Ring::R5, Ring::R6)
+            .bound_words(80)
+            .build();
+        let s = AccessSummary::of(&sdw);
+        assert_eq!(s.length_words, sdw.length_words());
+        assert_eq!(s.r1, Ring::R2);
+    }
+}

@@ -93,6 +93,11 @@ impl Machine {
             let abs1 = self.tr.resolve(&mut self.phys, &sdw, second, false)?;
             let w0 = self.phys.read(abs0)?;
             let w1 = self.phys.read(abs1)?;
+            if self.config.fastpath {
+                let slow_fetch = self.natives.is_native(tpr.addr.segno);
+                self.tr
+                    .fast_install(&self.phys, tpr.addr, tpr.ring, &sdw, slow_fetch);
+            }
             let iw = IndWord::unpack(w0, w1);
             let ring = effective::fold_indirect(tpr.ring, iw.ring, &sdw, self.config.ea_rules);
             tpr = Tpr {

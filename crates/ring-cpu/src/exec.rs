@@ -13,26 +13,29 @@ use crate::isa::{Instr, Opcode, OperandUse};
 use crate::machine::Machine;
 
 impl Machine {
-    /// Performs `instr`, fetched from segment `iseg`.
-    pub(crate) fn exec_instr(&mut self, instr: Instr, iseg: SegNo) -> Result<(), Fault> {
+    /// Performs `instr`, fetched from segment `iseg` whose descriptor
+    /// (already retrieved for the fetch validation) is `isdw`.
+    pub(crate) fn exec_instr(
+        &mut self,
+        instr: Instr,
+        iseg: SegNo,
+        isdw: &ring_core::sdw::Sdw,
+    ) -> Result<(), Fault> {
         // Privileged instructions execute only in ring 0 (and, under
-        // the optional hardening, only from privileged segments).
+        // the optional hardening, only from privileged segments). The
+        // fetch already fetched this segment's SDW, so the hardening
+        // check reuses it instead of a second associative-memory
+        // lookup.
         if instr.opcode.privileged() {
             if self.ipr.ring != Ring::R0 {
                 return Err(Fault::PrivilegedViolation {
                     ring: self.ipr.ring,
                 });
             }
-            if self.config.require_privileged_segments {
-                let sdw = self.sdw_for(
-                    SegAddr::new(iseg, ring_core::addr::WordNo::ZERO),
-                    AccessMode::Execute,
-                )?;
-                if !sdw.privileged {
-                    return Err(Fault::PrivilegedViolation {
-                        ring: self.ipr.ring,
-                    });
-                }
+            if self.config.require_privileged_segments && !isdw.privileged {
+                return Err(Fault::PrivilegedViolation {
+                    ring: self.ipr.ring,
+                });
             }
         }
 
@@ -134,26 +137,33 @@ impl Machine {
             OperandUse::AddressOnly => {
                 let ea = self.form_ea(&instr, iseg)?;
                 let count = u64::from(ea.tpr.addr.wordno.value());
-                match instr.opcode {
-                    Opcode::Eaa => {
-                        let v = Word::new(count);
-                        self.a = v;
-                        self.set_indicators(v);
-                    }
-                    Opcode::Als => {
-                        let v = Word::new(self.a.raw() << (count & 63));
-                        self.a = v;
-                        self.set_indicators(v);
-                    }
-                    Opcode::Ars => {
-                        let v = Word::new(self.a.raw() >> (count & 63));
-                        self.a = v;
-                        self.set_indicators(v);
-                    }
-                    _ => unreachable!("address-only group"),
-                }
+                self.exec_address_only(instr, count);
                 Ok(())
             }
+        }
+    }
+
+    /// The address-only group (EAA, ALS, ARS): operates on the
+    /// effective word number, no memory reference. Shared with the
+    /// fast path.
+    pub(crate) fn exec_address_only(&mut self, instr: Instr, count: u64) {
+        match instr.opcode {
+            Opcode::Eaa => {
+                let v = Word::new(count);
+                self.a = v;
+                self.set_indicators(v);
+            }
+            Opcode::Als => {
+                let v = Word::new(self.a.raw() << (count & 63));
+                self.a = v;
+                self.set_indicators(v);
+            }
+            Opcode::Ars => {
+                let v = Word::new(self.a.raw() >> (count & 63));
+                self.a = v;
+                self.set_indicators(v);
+            }
+            _ => unreachable!("address-only group"),
         }
     }
 
@@ -174,7 +184,13 @@ impl Machine {
         let (sdw, addr, ring) = self.memory_ea(ea)?;
         validate::check_read(&sdw, addr, ring)?;
         let abs = self.tr.resolve(&mut self.phys, &sdw, addr, false)?;
-        self.phys.read(abs)
+        let v = self.phys.read(abs)?;
+        if self.config.fastpath {
+            let slow_fetch = self.natives.is_native(addr.segno);
+            self.tr
+                .fast_install(&self.phys, addr, ring, &sdw, slow_fetch);
+        }
+        Ok(v)
     }
 
     /// Writes the operand for a Write-class instruction (Fig. 6, write).
@@ -185,10 +201,16 @@ impl Machine {
         let (sdw, addr, ring) = self.memory_ea(ea)?;
         validate::check_write(&sdw, addr, ring)?;
         let abs = self.tr.resolve(&mut self.phys, &sdw, addr, true)?;
-        self.phys.write(abs, value)
+        self.phys.write(abs, value)?;
+        if self.config.fastpath {
+            let slow_fetch = self.natives.is_native(addr.segno);
+            self.tr
+                .fast_install(&self.phys, addr, ring, &sdw, slow_fetch);
+        }
+        Ok(())
     }
 
-    fn write_value(&self, instr: Instr) -> Word {
+    pub(crate) fn write_value(&self, instr: Instr) -> Word {
         match instr.opcode {
             Opcode::Sta => self.a,
             Opcode::Stq => self.q,
@@ -198,7 +220,7 @@ impl Machine {
         }
     }
 
-    fn transfer_taken(&self, op: Opcode) -> bool {
+    pub(crate) fn transfer_taken(&self, op: Opcode) -> bool {
         match op {
             Opcode::Tra => true,
             Opcode::Tze => self.ind_zero,
@@ -209,7 +231,7 @@ impl Machine {
         }
     }
 
-    fn exec_read_op(&mut self, instr: Instr, operand: Word) -> Result<(), Fault> {
+    pub(crate) fn exec_read_op(&mut self, instr: Instr, operand: Word) -> Result<(), Fault> {
         match instr.opcode {
             Opcode::Lda => {
                 self.a = operand;
@@ -266,7 +288,7 @@ impl Machine {
         Ok(())
     }
 
-    fn exec_no_operand(&mut self, instr: Instr) -> Result<(), Fault> {
+    pub(crate) fn exec_no_operand(&mut self, instr: Instr) -> Result<(), Fault> {
         match instr.opcode {
             Opcode::Nop => Ok(()),
             Opcode::Neg => {

@@ -84,6 +84,9 @@ impl TtyDevice {
 pub struct IoSystem {
     devices: Vec<TtyDevice>,
     inflight: Vec<Option<Operation>>,
+    /// Number of occupied `inflight` slots, so the between-instructions
+    /// completion poll is O(1) on the (overwhelmingly common) idle case.
+    busy_count: u32,
 }
 
 impl IoSystem {
@@ -92,6 +95,7 @@ impl IoSystem {
         IoSystem {
             devices: (0..NUM_CHANNELS).map(|_| TtyDevice::default()).collect(),
             inflight: vec![None; NUM_CHANNELS],
+            busy_count: 0,
         }
     }
 
@@ -141,6 +145,7 @@ impl IoSystem {
             direction,
             done_at,
         });
+        self.busy_count += 1;
         Ok(())
     }
 
@@ -148,12 +153,21 @@ impl IoSystem {
     /// against `phys` and returns the channel number (the machine then
     /// raises the I/O-completion trap). At most one completion is
     /// delivered per call.
+    #[inline]
     pub(crate) fn take_completion(&mut self, now: u64, phys: &mut PhysMem) -> Option<u8> {
+        if self.busy_count == 0 {
+            return None;
+        }
+        self.take_completion_slow(now, phys)
+    }
+
+    fn take_completion_slow(&mut self, now: u64, phys: &mut PhysMem) -> Option<u8> {
         let idx = self
             .inflight
             .iter()
             .position(|op| matches!(op, Some(o) if o.done_at <= now))?;
         let op = self.inflight[idx].take().expect("checked above");
+        self.busy_count -= 1;
         let dev = &mut self.devices[idx];
         match op.direction {
             Direction::Output => {

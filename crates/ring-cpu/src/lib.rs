@@ -30,6 +30,7 @@
 pub mod callret;
 pub mod ea;
 pub mod exec;
+mod fastpath;
 pub mod io;
 pub mod isa;
 pub mod machine;
@@ -42,6 +43,6 @@ pub use io::{Direction, IoSystem, TtyDevice};
 pub use isa::{AddrMode, Instr, Opcode, OperandUse};
 pub use machine::{CostModel, ExecStats, Machine, MachineConfig, RunExit, StepOutcome};
 pub use native::{NativeAction, NativeFn, NativeRegistry};
-pub use ring_metrics::{Crossing, Metrics, MetricsSnapshot, SdwCacheStats};
+pub use ring_metrics::{Crossing, FastPathStats, Metrics, MetricsSnapshot, SdwCacheStats};
 pub use trace::TraceEvent;
 pub use trap::SavedState;

@@ -26,7 +26,7 @@ use ring_core::ring::Ring;
 use ring_core::sdw::Sdw;
 use ring_core::validate;
 use ring_core::word::Word;
-use ring_metrics::{EventSink, Metrics, MetricsSnapshot, SdwCacheStats};
+use ring_metrics::{EventSink, FastPathStats, Metrics, MetricsSnapshot, SdwCacheStats};
 use ring_segmem::phys::PhysMem;
 use ring_segmem::translate::Translator;
 
@@ -91,6 +91,14 @@ pub struct MachineConfig {
     /// segment's SDW privileged bit, not just ring 0. Off by default
     /// (the paper restricts by ring alone).
     pub require_privileged_segments: bool,
+    /// Run common instructions through the fast-path engine (the
+    /// `fastpath` module): cached ring-checked translations plus a
+    /// predecoded instruction cache. Architecturally invisible —
+    /// registers, memory, faults and simulated cycle counts are
+    /// identical either way — so it is on by default; turn it off to
+    /// run the reference interpreter alone (`--no-fastpath` in the
+    /// tools).
+    pub fastpath: bool,
     /// Fixed cycle costs.
     pub costs: CostModel,
 }
@@ -107,6 +115,7 @@ impl Default for MachineConfig {
             trap_save_offset: 64,
             sp_pr: 6,
             require_privileged_segments: false,
+            fastpath: true,
             costs: CostModel::default(),
         }
     }
@@ -133,6 +142,9 @@ pub struct ExecStats {
     pub downward_return_traps: u64,
     /// Native-procedure invocations.
     pub native_calls: u64,
+    /// Instructions committed by the fast-path engine (a subset of
+    /// `instructions`).
+    pub fast_steps: u64,
 }
 
 /// Outcome of a single [`Machine::step`].
@@ -209,6 +221,7 @@ pub struct Machine {
     pub(crate) metrics: Metrics,
     pub(crate) last_use: Option<crate::isa::OperandUse>,
     pub(crate) extra_cycles: u64,
+    pub(crate) fast: crate::fastpath::FastState,
 }
 
 impl Machine {
@@ -242,6 +255,7 @@ impl Machine {
             metrics: Metrics::disabled(),
             last_use: None,
             extra_cycles: 0,
+            fast: crate::fastpath::FastState::new(),
         }
     }
 
@@ -454,7 +468,25 @@ impl Machine {
                 flushes: cs.flushes,
                 invalidations: cs.invalidations,
             },
+            self.fastpath_stats(),
         )
+    }
+
+    /// Fast-path engine counters: instructions by path, lookaside
+    /// traffic, and instruction-cache traffic.
+    pub fn fastpath_stats(&self) -> FastPathStats {
+        let tlb = self.tr.tlb_stats();
+        FastPathStats {
+            fast_instructions: self.stats.fast_steps,
+            slow_instructions: self.stats.instructions - self.stats.fast_steps,
+            tlb_hits: tlb.hits,
+            tlb_misses: tlb.misses,
+            tlb_installs: tlb.installs,
+            tlb_invalidations: tlb.invalidations,
+            tlb_flushes: tlb.flushes,
+            icache_hits: self.fast.icache.hits,
+            icache_misses: self.fast.icache.misses,
+        }
     }
 
     /// Charges extra simulated cycles (used by native procedures to
@@ -664,11 +696,21 @@ impl Machine {
                 return self.take_trap(self.snapshot(), f);
             }
         }
-        let snapshot = self.snapshot();
         let refs_before = self.phys.ref_count();
         self.extra_cycles = 0;
         self.last_use = None;
-        let result = self.execute_one();
+        // The fast path either commits a whole instruction or bails
+        // with nothing mutated, so the pre-instruction snapshot is only
+        // needed (and only valid to defer) for the slow path.
+        let (result, snapshot) = if self.config.fastpath && self.try_execute_fast().is_some() {
+            (Ok(()), None)
+        } else {
+            if self.config.fastpath {
+                self.tr.fast_note_miss();
+            }
+            let snapshot = self.snapshot();
+            (self.execute_one(), Some(snapshot))
+        };
         self.stats.instructions += 1;
         let spent = self.config.costs.base_instruction
             + (self.phys.ref_count() - refs_before)
@@ -694,7 +736,10 @@ impl Machine {
                     StepOutcome::Ran
                 }
             }
-            Err(fault) => self.take_trap(snapshot, fault),
+            Err(fault) => {
+                let snapshot = snapshot.expect("fast path cannot fault");
+                self.take_trap(snapshot, fault)
+            }
         }
     }
 
@@ -741,7 +786,17 @@ impl Machine {
         }
         let abs = self.tr.resolve(&mut self.phys, &isdw, iaddr, false)?;
         let iword = self.phys.read(abs)?;
+        if self.config.fastpath {
+            // Warm both fast-path caches from the successful slow
+            // fetch (the natives intercept above already passed, so
+            // plain fetches from this page are safe to cache).
+            self.tr
+                .fast_install(&self.phys, iaddr, self.ipr.ring, &isdw, false);
+        }
         let instr = Instr::decode(iword)?;
+        if self.config.fastpath {
+            self.fast.icache.install(iaddr, iword, instr);
+        }
         self.trace.push(|| TraceEvent::Instr {
             at: self.ipr,
             instr,
@@ -753,7 +808,7 @@ impl Machine {
         // The instruction counter advances before execution; transfers
         // overwrite it.
         self.ipr.addr = SegAddr::new(iaddr.segno, iaddr.wordno.wrapping_add(1));
-        self.exec_instr(instr, iaddr.segno)
+        self.exec_instr(instr, iaddr.segno, &isdw)
     }
 
     fn apply_native_action(&mut self, action: NativeAction) -> Result<(), Fault> {

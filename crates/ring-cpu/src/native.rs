@@ -92,6 +92,10 @@ impl Machine {
         F: Fn(&mut Machine, WordNo) -> Result<NativeAction, Fault> + 'static,
     {
         self.natives.register(segno, Rc::new(handler));
+        // Fetches from this segment must now reach the slow path's
+        // intercept; drop any fast-path translations that predate the
+        // registration (new installs will carry the slow-fetch mark).
+        self.tr.invalidate_tlb_segment(segno);
     }
 }
 

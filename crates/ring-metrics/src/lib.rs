@@ -49,7 +49,7 @@ pub use counters::{Crossing, CrossingCounters, FaultCounters, OpClass, OpClassCo
 pub use heatmap::{SegHeat, SegmentHeatmap};
 pub use hist::CycleHistogram;
 pub use ring_buffer::EventRing;
-pub use snapshot::{json_escape, HistogramSnapshot, MetricsSnapshot, SdwCacheStats};
+pub use snapshot::{json_escape, FastPathStats, HistogramSnapshot, MetricsSnapshot, SdwCacheStats};
 
 use ring_core::access::{AccessMode, Fault};
 use ring_core::ring::Ring;
@@ -165,6 +165,7 @@ impl Metrics {
     }
 
     /// Whether events are being recorded.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }

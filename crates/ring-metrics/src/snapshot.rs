@@ -37,6 +37,46 @@ impl SdwCacheStats {
     }
 }
 
+/// Fast-path engine statistics (the ring-checked translation lookaside
+/// plus the predecoded instruction cache), mirrored here so snapshot
+/// consumers need no `ring-segmem`/`ring-cpu` dependency. Purely
+/// observational: the fast path changes no architectural counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FastPathStats {
+    /// Instructions committed by the fast-path engine.
+    pub fast_instructions: u64,
+    /// Instructions executed by the reference interpreter (including
+    /// all instructions when the fast path is disabled).
+    pub slow_instructions: u64,
+    /// Committed fast-path translations.
+    pub tlb_hits: u64,
+    /// Fast-path attempts abandoned to the slow path.
+    pub tlb_misses: u64,
+    /// Lookaside entries installed.
+    pub tlb_installs: u64,
+    /// Per-segment lookaside invalidation sweeps.
+    pub tlb_invalidations: u64,
+    /// Full lookaside flushes (DBR loads).
+    pub tlb_flushes: u64,
+    /// Instruction fetches served predecoded.
+    pub icache_hits: u64,
+    /// Instruction fetches that decoded afresh.
+    pub icache_misses: u64,
+}
+
+impl FastPathStats {
+    /// Fraction of instructions that committed on the fast path, in
+    /// `[0, 1]`; zero when nothing ran.
+    pub fn fast_ratio(&self) -> f64 {
+        let total = self.fast_instructions + self.slow_instructions;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_instructions as f64 / total as f64
+        }
+    }
+}
+
 /// A bucketed histogram flattened for export.
 #[derive(Clone, Debug, Default)]
 pub struct HistogramSnapshot {
@@ -110,6 +150,8 @@ pub struct MetricsSnapshot {
     pub heatmap: Vec<(u32, SegHeat)>,
     /// SDW associative-memory statistics.
     pub sdw_cache: SdwCacheStats,
+    /// Fast-path engine statistics.
+    pub fastpath: FastPathStats,
     /// Namespaced supplementary counters (the supervisor contributes
     /// `os.*` keys: gate transits, ACL denials, per-process crossings).
     pub extra: Vec<(String, u64)>,
@@ -123,6 +165,7 @@ impl MetricsSnapshot {
         instructions: u64,
         cycles: u64,
         sdw_cache: SdwCacheStats,
+        fastpath: FastPathStats,
     ) -> MetricsSnapshot {
         MetricsSnapshot {
             enabled: metrics.is_enabled(),
@@ -152,6 +195,7 @@ impl MetricsSnapshot {
             sdw_miss_refs: HistogramSnapshot::of(&metrics.sdw_miss_refs),
             heatmap: metrics.heatmap.iter().map(|(s, h)| (s, *h)).collect(),
             sdw_cache,
+            fastpath,
             extra: Vec::new(),
         }
     }
@@ -259,6 +303,23 @@ impl MetricsSnapshot {
             json_f64(self.sdw_cache.hit_ratio())
         ));
 
+        out.push_str(&format!(
+            "  \"fastpath\": {{\"fast_instructions\": {}, \"slow_instructions\": {}, \
+             \"fast_ratio\": {}, \"tlb\": {{\"hits\": {}, \"misses\": {}, \"installs\": {}, \
+             \"invalidations\": {}, \"flushes\": {}}}, \"icache\": {{\"hits\": {}, \
+             \"misses\": {}}}}},\n",
+            self.fastpath.fast_instructions,
+            self.fastpath.slow_instructions,
+            json_f64(self.fastpath.fast_ratio()),
+            self.fastpath.tlb_hits,
+            self.fastpath.tlb_misses,
+            self.fastpath.tlb_installs,
+            self.fastpath.tlb_invalidations,
+            self.fastpath.tlb_flushes,
+            self.fastpath.icache_hits,
+            self.fastpath.icache_misses,
+        ));
+
         out.push_str("  \"extra\": {");
         out.push_str(
             &self
@@ -346,6 +407,23 @@ impl MetricsSnapshot {
         rows.push((
             "sdw_cache.hit_ratio".into(),
             format!("{:.3}", self.sdw_cache.hit_ratio()),
+        ));
+        for (key, v) in [
+            ("fast_instructions", self.fastpath.fast_instructions),
+            ("slow_instructions", self.fastpath.slow_instructions),
+            ("tlb.hits", self.fastpath.tlb_hits),
+            ("tlb.misses", self.fastpath.tlb_misses),
+            ("tlb.installs", self.fastpath.tlb_installs),
+            ("tlb.invalidations", self.fastpath.tlb_invalidations),
+            ("tlb.flushes", self.fastpath.tlb_flushes),
+            ("icache.hits", self.fastpath.icache_hits),
+            ("icache.misses", self.fastpath.icache_misses),
+        ] {
+            rows.push((format!("fastpath.{key}"), v.to_string()));
+        }
+        rows.push((
+            "fastpath.fast_ratio".into(),
+            format!("{:.3}", self.fastpath.fast_ratio()),
         ));
         for (k, v) in &self.extra {
             rows.push((format!("extra.{k}"), v.to_string()));
@@ -452,6 +530,17 @@ mod tests {
                 flushes: 1,
                 invalidations: 2,
             },
+            FastPathStats {
+                fast_instructions: 80,
+                slow_instructions: 20,
+                tlb_hits: 150,
+                tlb_misses: 20,
+                tlb_installs: 12,
+                tlb_invalidations: 3,
+                tlb_flushes: 1,
+                icache_hits: 75,
+                icache_misses: 5,
+            },
         );
         s.push_extra("os.gate_calls_hcs", 5);
         s
@@ -474,6 +563,9 @@ mod tests {
             "\"segno\": 10",
             "\"sdw_cache\"",
             "\"hits\": 90",
+            "\"fastpath\"",
+            "\"fast_instructions\": 80",
+            "\"icache\"",
             "\"os.gate_calls_hcs\": 5",
             "\"tpr_maximisations\"",
         ] {
@@ -499,6 +591,8 @@ mod tests {
         assert!(csv.starts_with("key,value\n"));
         assert!(csv.contains("crossings.call_down,1\n"));
         assert!(csv.contains("sdw_cache.hits,90\n"));
+        assert!(csv.contains("fastpath.fast_instructions,80\n"));
+        assert!(csv.contains("fastpath.tlb.hits,150\n"));
         assert!(csv.contains("extra.os.gate_calls_hcs,5\n"));
         for line in csv.lines() {
             assert_eq!(line.matches(',').count(), 1, "bad row: {line}");

@@ -42,6 +42,9 @@ pub struct SystemConfig {
     pub stack_rule: StackRule,
     /// Scheduler quantum in cycles.
     pub quantum: u64,
+    /// Whether the machine's fast-path execution engine (translation
+    /// lookaside + predecoded instruction cache) is enabled.
+    pub fastpath: bool,
 }
 
 impl Default for SystemConfig {
@@ -52,6 +55,7 @@ impl Default for SystemConfig {
             ea_rules: EffectiveRingRules::PAPER,
             stack_rule: StackRule::DbrBase,
             quantum: 5_000,
+            fastpath: true,
         }
     }
 }
@@ -82,6 +86,7 @@ impl System {
             trap_segno: SegNo::new(segs::TRAP).expect("segno"),
             trap_vector_base: 0,
             trap_save_offset: 64,
+            fastpath: cfg.fastpath,
             ..MachineConfig::default()
         };
         let mut machine = Machine::new(cfg.phys_words, mconfig);

@@ -13,12 +13,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fastpath;
 pub mod layout;
 pub mod paging;
 pub mod phys;
 pub mod sdw_cache;
 pub mod translate;
 
+pub use fastpath::{FastHit, RingTlb, TlbStats};
 pub use layout::PhysAllocator;
 pub use paging::{Ptw, PAGE_WORDS};
 pub use phys::PhysMem;

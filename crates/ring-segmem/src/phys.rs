@@ -54,6 +54,7 @@ impl PhysMem {
     }
 
     /// Writes the word at `addr`.
+    #[inline]
     pub fn write(&mut self, addr: AbsAddr, value: Word) -> Result<(), Fault> {
         self.writes += 1;
         match self.words.get_mut(addr.value() as usize) {
@@ -67,6 +68,7 @@ impl PhysMem {
 
     /// Reads without disturbing the traffic counters (for debuggers,
     /// trace printers and tests that must not perturb cycle counts).
+    #[inline]
     pub fn peek(&self, addr: AbsAddr) -> Result<Word, Fault> {
         self.words
             .get(addr.value() as usize)
@@ -85,6 +87,15 @@ impl PhysMem {
         }
     }
 
+    /// Adds `n` to the read counter without touching memory. The
+    /// fast-path engine probes with uncounted [`PhysMem::peek`]s so an
+    /// abandoned attempt leaves no trace, then charges the reads the
+    /// slow path would have counted in one step when it commits.
+    #[inline]
+    pub fn charge_reads(&mut self, n: u64) {
+        self.reads += n;
+    }
+
     /// Total counted reads since construction.
     pub fn read_count(&self) -> u64 {
         self.reads
@@ -96,6 +107,7 @@ impl PhysMem {
     }
 
     /// Total counted references (reads + writes).
+    #[inline]
     pub fn ref_count(&self) -> u64 {
         self.reads + self.writes
     }

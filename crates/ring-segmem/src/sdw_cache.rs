@@ -8,8 +8,15 @@
 //! flushes it, which is precisely what makes the software-ring baseline
 //! (one descriptor segment per ring, DBR switch on every ring crossing)
 //! expensive; experiment T5 sweeps the cache size to measure this.
+//!
+//! Lookup is O(1): a direct segno → slot index shadows the entry array
+//! (the hardware probes all comparators in parallel; a linear scan per
+//! reference was the old software stand-in). The index is pure
+//! acceleration — replacement stays round-robin, flush and invalidate
+//! semantics and [`CacheStats`] accounting are unchanged, which the
+//! model-equivalence test at the bottom pins.
 
-use ring_core::addr::SegNo;
+use ring_core::addr::{SegNo, MAX_SEGNO};
 use ring_core::sdw::Sdw;
 
 /// Hit/miss/flush statistics for the associative memory.
@@ -44,6 +51,9 @@ impl CacheStats {
 #[derive(Clone, Debug)]
 pub struct SdwCache {
     entries: Vec<Option<(SegNo, Sdw)>>,
+    /// Direct map from segment number to occupied slot, stored as
+    /// `slot + 1` (0 = not cached). Empty when capacity is 0.
+    index: Vec<u16>,
     next_victim: usize,
     stats: CacheStats,
 }
@@ -53,9 +63,19 @@ impl SdwCache {
     pub const DEFAULT_CAPACITY: usize = 16;
 
     /// Creates a cache with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` does not fit the slot index (`>= u16::MAX`).
     pub fn new(capacity: usize) -> SdwCache {
+        assert!(capacity < u16::MAX as usize, "SDW cache too large");
         SdwCache {
             entries: vec![None; capacity],
+            index: if capacity == 0 {
+                Vec::new()
+            } else {
+                vec![0; MAX_SEGNO as usize + 1]
+            },
             next_victim: 0,
             stats: CacheStats::default(),
         }
@@ -66,18 +86,28 @@ impl SdwCache {
         self.entries.len()
     }
 
+    /// Occupied slot holding `segno`, if any (O(1) via the index).
+    #[inline]
+    fn slot_of(&self, segno: SegNo) -> Option<usize> {
+        match self.index.get(segno.value() as usize) {
+            Some(&e) if e != 0 => Some(usize::from(e) - 1),
+            _ => None,
+        }
+    }
+
+    /// Whether `segno` is currently resident (no statistics update).
+    #[inline]
+    pub fn contains(&self, segno: SegNo) -> bool {
+        self.slot_of(segno).is_some()
+    }
+
     /// Looks up the SDW for `segno`, updating hit/miss statistics.
+    #[inline]
     pub fn lookup(&mut self, segno: SegNo) -> Option<Sdw> {
-        match self
-            .entries
-            .iter()
-            .flatten()
-            .find(|(s, _)| *s == segno)
-            .map(|(_, sdw)| *sdw)
-        {
-            Some(sdw) => {
+        match self.slot_of(segno) {
+            Some(slot) => {
                 self.stats.hits += 1;
-                Some(sdw)
+                Some(self.entries[slot].expect("indexed slot is occupied").1)
             }
             None => {
                 self.stats.misses += 1;
@@ -86,34 +116,56 @@ impl SdwCache {
         }
     }
 
+    /// Records `n` lookups that the fast-path lookaside resolved on this
+    /// cache's behalf. A fast-path hit is only installed while its
+    /// segment is resident here, so the slow path would have scored the
+    /// same hits; counting them keeps [`CacheStats`] identical whichever
+    /// path executed.
+    #[inline]
+    pub fn count_hits(&mut self, n: u64) {
+        self.stats.hits += n;
+    }
+
     /// Installs an SDW fetched from the descriptor segment, evicting the
     /// round-robin victim if the cache is full.
-    pub fn insert(&mut self, segno: SegNo, sdw: Sdw) {
+    ///
+    /// Returns the segment whose residency ended with this insert: the
+    /// evicted victim, or `segno` itself when an existing entry was
+    /// replaced in place (its cached contents changed). `None` when a
+    /// free slot absorbed the insert — no cached state was displaced.
+    pub fn insert(&mut self, segno: SegNo, sdw: Sdw) -> Option<SegNo> {
         if self.entries.is_empty() {
-            return;
+            return None;
         }
         // Replace an existing entry for the same segment, else the first
         // free slot, else the round-robin victim.
-        if let Some(slot) = self
-            .entries
-            .iter_mut()
-            .find(|e| matches!(e, Some((s, _)) if *s == segno))
-        {
-            *slot = Some((segno, sdw));
-            return;
+        if let Some(slot) = self.slot_of(segno) {
+            self.entries[slot] = Some((segno, sdw));
+            return Some(segno);
         }
-        if let Some(slot) = self.entries.iter_mut().find(|e| e.is_none()) {
-            *slot = Some((segno, sdw));
-            return;
+        if let Some(slot) = self.entries.iter().position(|e| e.is_none()) {
+            self.entries[slot] = Some((segno, sdw));
+            self.index[segno.value() as usize] = slot as u16 + 1;
+            return None;
         }
         let victim = self.next_victim;
+        let displaced = self.entries[victim].map(|(s, _)| s);
+        if let Some(s) = displaced {
+            self.index[s.value() as usize] = 0;
+        }
         self.entries[victim] = Some((segno, sdw));
+        self.index[segno.value() as usize] = victim as u16 + 1;
         self.next_victim = (victim + 1) % self.entries.len();
+        displaced
     }
 
     /// Flushes every entry (performed by a DBR load).
     pub fn flush(&mut self) {
-        self.entries.iter_mut().for_each(|e| *e = None);
+        for e in self.entries.iter_mut() {
+            if let Some((s, _)) = e.take() {
+                self.index[s.value() as usize] = 0;
+            }
+        }
         self.next_victim = 0;
         self.stats.flushes += 1;
     }
@@ -122,10 +174,9 @@ impl SdwCache {
     /// supervisor rewrites an SDW so the change is immediately
     /// effective, as the paper requires).
     pub fn invalidate(&mut self, segno: SegNo) {
-        for e in self.entries.iter_mut() {
-            if matches!(e, Some((s, _)) if *s == segno) {
-                *e = None;
-            }
+        if let Some(slot) = self.slot_of(segno) {
+            self.entries[slot] = None;
+            self.index[segno.value() as usize] = 0;
         }
         self.stats.invalidations += 1;
     }
@@ -170,7 +221,7 @@ mod tests {
         let mut c = SdwCache::new(2);
         c.insert(seg(1), sdw(1));
         c.insert(seg(2), sdw(2));
-        c.insert(seg(1), sdw(10));
+        assert_eq!(c.insert(seg(1), sdw(10)), Some(seg(1)));
         assert_eq!(c.lookup(seg(1)).unwrap().bound, 10);
         assert_eq!(c.lookup(seg(2)).unwrap().bound, 2);
     }
@@ -178,13 +229,13 @@ mod tests {
     #[test]
     fn round_robin_eviction() {
         let mut c = SdwCache::new(2);
-        c.insert(seg(1), sdw(1));
-        c.insert(seg(2), sdw(2));
-        c.insert(seg(3), sdw(3)); // evicts slot 0 (seg 1)
+        assert_eq!(c.insert(seg(1), sdw(1)), None);
+        assert_eq!(c.insert(seg(2), sdw(2)), None);
+        assert_eq!(c.insert(seg(3), sdw(3)), Some(seg(1))); // evicts slot 0
         assert!(c.lookup(seg(1)).is_none());
         assert!(c.lookup(seg(2)).is_some());
         assert!(c.lookup(seg(3)).is_some());
-        c.insert(seg(4), sdw(4)); // evicts slot 1 (seg 2)
+        assert_eq!(c.insert(seg(4), sdw(4)), Some(seg(2))); // evicts slot 1
         assert!(c.lookup(seg(2)).is_none());
         assert!(c.lookup(seg(3)).is_some());
     }
@@ -212,6 +263,7 @@ mod tests {
     fn zero_capacity_never_hits() {
         let mut c = SdwCache::new(0);
         c.insert(seg(1), sdw(1));
+        assert!(!c.contains(seg(1)));
         assert!(c.lookup(seg(1)).is_none());
         assert_eq!(c.stats().hits, 0);
         assert_eq!(c.stats().misses, 1);
@@ -225,5 +277,138 @@ mod tests {
         c.lookup(seg(1));
         c.lookup(seg(2));
         assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contains_does_not_touch_stats() {
+        let mut c = SdwCache::new(2);
+        c.insert(seg(1), sdw(1));
+        assert!(c.contains(seg(1)));
+        assert!(!c.contains(seg(2)));
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn count_hits_adds_to_hits_only() {
+        let mut c = SdwCache::new(2);
+        c.count_hits(3);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.flushes, s.invalidations), (3, 0, 0, 0));
+    }
+
+    /// The O(n)-scan cache the index replaced, kept as an executable
+    /// model: the indexed cache must be observationally identical
+    /// (lookups, contents, replacement order, statistics) over a long
+    /// pseudo-random workload. This pins the satellite requirement that
+    /// the index changes complexity only.
+    struct ModelCache {
+        entries: Vec<Option<(SegNo, Sdw)>>,
+        next_victim: usize,
+        stats: CacheStats,
+    }
+
+    impl ModelCache {
+        fn new(capacity: usize) -> ModelCache {
+            ModelCache {
+                entries: vec![None; capacity],
+                next_victim: 0,
+                stats: CacheStats::default(),
+            }
+        }
+
+        fn lookup(&mut self, segno: SegNo) -> Option<Sdw> {
+            match self
+                .entries
+                .iter()
+                .flatten()
+                .find(|(s, _)| *s == segno)
+                .map(|(_, sdw)| *sdw)
+            {
+                Some(sdw) => {
+                    self.stats.hits += 1;
+                    Some(sdw)
+                }
+                None => {
+                    self.stats.misses += 1;
+                    None
+                }
+            }
+        }
+
+        fn insert(&mut self, segno: SegNo, sdw: Sdw) {
+            if self.entries.is_empty() {
+                return;
+            }
+            if let Some(slot) = self
+                .entries
+                .iter_mut()
+                .find(|e| matches!(e, Some((s, _)) if *s == segno))
+            {
+                *slot = Some((segno, sdw));
+                return;
+            }
+            if let Some(slot) = self.entries.iter_mut().find(|e| e.is_none()) {
+                *slot = Some((segno, sdw));
+                return;
+            }
+            let victim = self.next_victim;
+            self.entries[victim] = Some((segno, sdw));
+            self.next_victim = (victim + 1) % self.entries.len();
+        }
+
+        fn flush(&mut self) {
+            self.entries.iter_mut().for_each(|e| *e = None);
+            self.next_victim = 0;
+            self.stats.flushes += 1;
+        }
+
+        fn invalidate(&mut self, segno: SegNo) {
+            for e in self.entries.iter_mut() {
+                if matches!(e, Some((s, _)) if *s == segno) {
+                    *e = None;
+                }
+            }
+            self.stats.invalidations += 1;
+        }
+    }
+
+    #[test]
+    fn indexed_cache_matches_linear_scan_model() {
+        for capacity in [0usize, 1, 2, 4, 16] {
+            let mut real = SdwCache::new(capacity);
+            let mut model = ModelCache::new(capacity);
+            // Deterministic pseudo-random op stream (SplitMix64).
+            let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ capacity as u64;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for _ in 0..4000 {
+                let r = next();
+                let s = seg((r >> 8) as u32 % 24);
+                match r % 10 {
+                    0..=4 => assert_eq!(real.lookup(s), model.lookup(s)),
+                    5..=7 => {
+                        let w = sdw((r >> 40) as u32 % 64);
+                        real.insert(s, w);
+                        model.insert(s, w);
+                    }
+                    8 => {
+                        real.invalidate(s);
+                        model.invalidate(s);
+                    }
+                    _ => {
+                        real.flush();
+                        model.flush();
+                    }
+                }
+            }
+            assert_eq!(real.stats(), model.stats, "capacity {capacity}");
+            assert_eq!(real.entries, model.entries, "capacity {capacity}");
+            assert_eq!(real.next_victim, model.next_victim, "cap {capacity}");
+        }
     }
 }

@@ -16,15 +16,26 @@ use ring_core::ring::Ring;
 use ring_core::sdw::Sdw;
 use ring_core::word::Word;
 
+use crate::fastpath::{FastHit, RingTlb, TlbStats};
 use crate::paging::{split_wordno, Ptw};
 use crate::phys::PhysMem;
 use crate::sdw_cache::{CacheStats, SdwCache};
 
 /// The translation engine: descriptor-segment walker plus SDW
+/// associative memory, shadowed by the fast-path lookaside
+/// ([`RingTlb`]).
+///
+/// The lookaside obeys one invariant, maintained entirely here: a TLB
+/// entry for segment `s` exists only while `s` is resident in the SDW
+/// associative memory with the same contents as at install time. Every
+/// residency-ending event — eviction, in-place reinsert, invalidation,
+/// flush — drops the matching TLB entries, so a fast probe can trust
+/// its cached verdict exactly as far as the slow path would trust the
 /// associative memory.
 #[derive(Clone, Debug)]
 pub struct Translator {
     cache: SdwCache,
+    tlb: RingTlb,
 }
 
 impl Translator {
@@ -33,6 +44,7 @@ impl Translator {
     pub fn new(cache_capacity: usize) -> Translator {
         Translator {
             cache: SdwCache::new(cache_capacity),
+            tlb: RingTlb::new(),
         }
     }
 
@@ -61,7 +73,9 @@ impl Translator {
         let w0 = phys.read(sdw_addr)?;
         let w1 = phys.read(sdw_addr.wrapping_add(1))?;
         let sdw = Sdw::unpack(w0, w1);
-        self.cache.insert(addr.segno, sdw);
+        if let Some(displaced) = self.cache.insert(addr.segno, sdw) {
+            self.tlb.invalidate_segment(displaced);
+        }
         Ok(sdw)
     }
 
@@ -119,12 +133,15 @@ impl Translator {
         phys.write(base, w0)?;
         phys.write(base.wrapping_add(1), w1)?;
         self.cache.invalidate(segno);
+        self.tlb.invalidate_segment(segno);
         Ok(())
     }
 
-    /// Flushes the SDW associative memory (performed on DBR load).
+    /// Flushes the SDW associative memory and the fast-path lookaside
+    /// (performed on DBR load).
     pub fn flush_cache(&mut self) {
         self.cache.flush();
+        self.tlb.flush();
     }
 
     /// Associative-memory statistics.
@@ -135,6 +152,78 @@ impl Translator {
     /// Clears the associative-memory statistics.
     pub fn reset_cache_stats(&mut self) {
         self.cache.reset_stats();
+    }
+
+    /// Fast-path probe: one cached lookup standing in for SDW fetch,
+    /// Fig. 4/6 validation, bound check, and page walk. Pure — a `None`
+    /// leaves no trace and the caller re-runs the slow path.
+    #[inline(always)]
+    pub fn fast_probe(
+        &self,
+        phys: &PhysMem,
+        addr: SegAddr,
+        ring: Ring,
+        mode: AccessMode,
+    ) -> Option<FastHit> {
+        self.tlb.probe(phys, addr, ring, mode)
+    }
+
+    /// Fast-path probe of a read-modify-write reference. Pure.
+    #[inline(always)]
+    pub fn fast_probe_rw(&self, phys: &PhysMem, addr: SegAddr, ring: Ring) -> Option<FastHit> {
+        self.tlb.probe_rw(phys, addr, ring)
+    }
+
+    /// Fast-path probe of the Fig. 7 transfer verdict. Pure.
+    #[inline(always)]
+    pub fn fast_probe_transfer(&self, addr: SegAddr, ring: Ring) -> bool {
+        self.tlb.probe_transfer(addr, ring)
+    }
+
+    /// Installs a fast-path translation after a successful slow-path
+    /// reference through `sdw`. Skipped unless `addr.segno` is resident
+    /// in the associative memory (the residency invariant above; this
+    /// also keeps the lookaside empty when caching is disabled, which
+    /// models the cacheless 645).
+    pub fn fast_install(
+        &mut self,
+        phys: &PhysMem,
+        addr: SegAddr,
+        ring: Ring,
+        sdw: &Sdw,
+        slow_fetch: bool,
+    ) {
+        if !self.cache.contains(addr.segno) {
+            return;
+        }
+        self.tlb.install(phys, addr, ring, sdw, slow_fetch);
+    }
+
+    /// Records `n` committed fast-path translations, crediting the SDW
+    /// associative memory with the hits the slow path would have scored
+    /// (the residency invariant guarantees they would all have hit).
+    #[inline]
+    pub fn fast_commit_hits(&mut self, n: u64) {
+        self.cache.count_hits(n);
+        self.tlb.note_hits(n);
+    }
+
+    /// Records one abandoned fast-path attempt.
+    #[inline]
+    pub fn fast_note_miss(&mut self) {
+        self.tlb.note_miss();
+    }
+
+    /// Drops fast-path entries for one segment without touching the
+    /// associative memory (used when a native handler is registered:
+    /// fetches from that segment must reach the slow path's intercept).
+    pub fn invalidate_tlb_segment(&mut self, segno: ring_core::addr::SegNo) {
+        self.tlb.invalidate_segment(segno);
+    }
+
+    /// Fast-path lookaside statistics.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
     }
 }
 

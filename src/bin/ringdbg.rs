@@ -120,19 +120,33 @@ fn print_instr_at(w: &World) {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(file) = args.next() else {
-        eprintln!("usage: ringdbg <file.rasm> [--ring N]");
+        eprintln!("usage: ringdbg <file.rasm> [--ring N] [--no-fastpath]");
         return ExitCode::FAILURE;
     };
-    let ring = match (args.next().as_deref(), args.next()) {
-        (Some("--ring"), Some(n)) => match n.parse::<u8>().ok().and_then(Ring::new) {
-            Some(r) => r,
-            None => {
-                eprintln!("--ring takes 0..=7");
+    let mut ring = Ring::R4;
+    let mut fastpath = true;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ring" => {
+                ring = match args
+                    .next()
+                    .and_then(|n| n.parse::<u8>().ok())
+                    .and_then(Ring::new)
+                {
+                    Some(r) => r,
+                    None => {
+                        eprintln!("--ring takes 0..=7");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--no-fastpath" => fastpath = false,
+            other => {
+                eprintln!("unknown argument `{other}`");
                 return ExitCode::FAILURE;
             }
-        },
-        _ => Ring::R4,
-    };
+        }
+    }
     let source = match std::fs::read_to_string(&file) {
         Ok(s) => s,
         Err(e) => {
@@ -148,7 +162,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut world = World::new();
+    let mut world = World::with_config(multiring::cpu::machine::MachineConfig {
+        fastpath,
+        ..multiring::cpu::machine::MachineConfig::default()
+    });
     let code = world.add_segment(
         CODE_SEG,
         SdwBuilder::procedure(ring, ring, Ring::R7)

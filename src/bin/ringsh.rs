@@ -3,7 +3,7 @@
 //! supervisor work.
 //!
 //! ```text
-//! $ cargo run --bin ringsh
+//! $ cargo run --bin ringsh [-- --no-fastpath]
 //! ring> login alice
 //! ring> create udd>alice>notes 1 2 3 4
 //! ring> asm examples/asm/fibonacci.rasm
@@ -321,8 +321,12 @@ impl Shell {
 }
 
 fn main() -> ExitCode {
+    let fastpath = !std::env::args().skip(1).any(|a| a == "--no-fastpath");
     println!("multiring shell — `help` for commands");
-    let mut sys = System::boot();
+    let mut sys = System::boot_with(multiring::os::boot::SystemConfig {
+        fastpath,
+        ..multiring::os::boot::SystemConfig::default()
+    });
     // The shell is an observability surface; always record metrics.
     sys.enable_metrics();
     let mut shell = Shell { sys, current: None };

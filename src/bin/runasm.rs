@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm]
-//!                    [--metrics-out <file.json|file.csv>]
+//!                    [--no-fastpath] [--metrics-out <file.json|file.csv>]
 //! ```
 //!
 //! The program is loaded into segment 10 of a bare world (standard
@@ -30,6 +30,7 @@ struct Options {
     budget: u64,
     trace: bool,
     disasm: bool,
+    fastpath: bool,
     metrics_out: Option<String>,
 }
 
@@ -41,6 +42,7 @@ fn parse_args() -> Result<Options, String> {
         budget: 100_000,
         trace: false,
         disasm: false,
+        fastpath: true,
         metrics_out: None,
     };
     while let Some(a) = args.next() {
@@ -60,13 +62,14 @@ fn parse_args() -> Result<Options, String> {
             }
             "--trace" => opts.trace = true,
             "--disasm" => opts.disasm = true,
+            "--no-fastpath" => opts.fastpath = false,
             "--metrics-out" => {
                 opts.metrics_out = Some(args.next().ok_or("--metrics-out takes a file name")?);
             }
             "--help" | "-h" => {
                 return Err(
                     "usage: runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm] \
-                     [--metrics-out <file>]"
+                     [--no-fastpath] [--metrics-out <file>]"
                         .to_string(),
                 )
             }
@@ -109,7 +112,10 @@ fn main() -> ExitCode {
     }
 
     let ring = Ring::new(opts.ring).expect("checked");
-    let mut world = World::new();
+    let mut world = World::with_config(multiring::cpu::machine::MachineConfig {
+        fastpath: opts.fastpath,
+        ..multiring::cpu::machine::MachineConfig::default()
+    });
     let code = world.add_segment(
         10,
         SdwBuilder::procedure(ring, ring, Ring::R7)

@@ -1,0 +1,691 @@
+//! Differential validation of the fast-path execution engine.
+//!
+//! The fast path (ring-checked translation lookaside + predecoded
+//! instruction cache) is pure acceleration: with it on or off the
+//! machine must reach bit-for-bit identical architectural state —
+//! registers, memory, faults, traps — *and* identical simulated cycle
+//! counts, because the cycle model charges per counted physical
+//! reference and the fast path replays exactly the references the slow
+//! path would have made.
+//!
+//! These tests run two machines in lockstep over the same world — one
+//! with `fastpath: true` (the default), one with `fastpath: false` (the
+//! `--no-fastpath` configuration) — on randomly generated but
+//! mostly-sane programs covering every operand class, immediate /
+//! indexed / indirect addressing, paged segments, ring folds that fault
+//! and chains that loop. After every step the full register file,
+//! cycle counter and outcome must match; at the end, all of physical
+//! memory, the counted reference totals, the SDW associative-memory
+//! statistics and the architectural metrics (heatmap, histograms,
+//! crossings, faults) must match too.
+//!
+//! Targeted tests then pin the three invalidation protocols: raw-word
+//! compare catching self-modifying code, descriptor-store invalidation
+//! catching supervisor revocation, and the DBR-load flush catching an
+//! address-space switch.
+
+use multiring::core::access::Fault;
+use multiring::core::registers::{Dbr, IndWord, Ipr, PtrReg};
+use multiring::core::ring::Ring;
+use multiring::core::sdw::SdwBuilder;
+use multiring::core::word::Word;
+use multiring::core::{AbsAddr, SegNo};
+use multiring::cpu::isa::{Instr, Opcode};
+use multiring::cpu::machine::{Machine, MachineConfig, StepOutcome};
+use multiring::cpu::native::NativeAction;
+use multiring::cpu::testkit::{addr, World};
+use multiring::segmem::Ptw;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CODE: u32 = 10;
+const DATA: u32 = 11;
+const TABLE: u32 = 12;
+const RO: u32 = 13;
+const PAGED: u32 = 14;
+
+/// All segment storage (descriptor segment, code/data/stacks/trap,
+/// page table and frames) lives well below this; sweeping further is
+/// pure zero-compare.
+const SWEEP_WORDS: u32 = 32 * 1024;
+
+fn ring_mostly_r4(rng: &mut StdRng) -> Ring {
+    if rng.gen_bool(0.85) {
+        Ring::R4
+    } else {
+        Ring::R5
+    }
+}
+
+/// One random instruction word. Weighted so most instructions execute
+/// cleanly (long runs keep the caches hot) but every operand class,
+/// addressing mode and a sprinkling of faulting references appear.
+fn gen_instr(rng: &mut StdRng) -> Word {
+    const READS: [Opcode; 11] = [
+        Opcode::Lda,
+        Opcode::Ldq,
+        Opcode::Ada,
+        Opcode::Sba,
+        Opcode::Mpy,
+        Opcode::Ana,
+        Opcode::Ora,
+        Opcode::Era,
+        Opcode::Cmpa,
+        Opcode::Adq,
+        Opcode::Sbq,
+    ];
+    const WRITES: [Opcode; 3] = [Opcode::Sta, Opcode::Stq, Opcode::Stz];
+    const TRANSFERS: [Opcode; 5] = [
+        Opcode::Tra,
+        Opcode::Tze,
+        Opcode::Tnz,
+        Opcode::Tmi,
+        Opcode::Tpl,
+    ];
+    const PRIVILEGED: [Opcode; 5] = [
+        Opcode::Ldbr,
+        Opcode::Sio,
+        Opcode::Rett,
+        Opcode::Ldt,
+        Opcode::Halt,
+    ];
+
+    let roll = rng.gen_range(0..100u32);
+    let instr =
+        match roll {
+            // ---- operand reads, every addressing mode ----
+            0..=29 => {
+                let op = READS[rng.gen_range(0..READS.len())];
+                match rng.gen_range(0..6u32) {
+                    0 => Instr::direct(op, rng.gen_range(0..(1 << 18))).immediate(),
+                    1 => Instr::pr_relative(op, 1, rng.gen_range(0..250)),
+                    2 => Instr::pr_relative(op, 4, rng.gen_range(0..2040)),
+                    3 => Instr::pr_relative(op, 2, 2 * rng.gen_range(0..32u32)).with_indirect(),
+                    4 => Instr::pr_relative(op, 1, rng.gen_range(0..120))
+                        .with_index(rng.gen_range(1..4)),
+                    _ => Instr::pr_relative(op, 3, rng.gen_range(0..60)),
+                }
+            }
+            // ---- operand writes (occasionally refused or illegal) ----
+            30..=41 => {
+                let op = WRITES[rng.gen_range(0..WRITES.len())];
+                match rng.gen_range(0..8u32) {
+                    0..=2 => Instr::pr_relative(op, 1, rng.gen_range(0..250)),
+                    3 | 4 => Instr::pr_relative(op, 4, rng.gen_range(0..2040)),
+                    5 => Instr::pr_relative(op, 2, 2 * rng.gen_range(0..32u32)).with_indirect(),
+                    6 => Instr::pr_relative(op, 1, rng.gen_range(0..120))
+                        .with_index(rng.gen_range(1..4)),
+                    // Write bracket violation / illegal immediate write.
+                    _ => {
+                        if rng.gen_bool(0.5) {
+                            Instr::pr_relative(op, 3, rng.gen_range(0..60))
+                        } else {
+                            Instr::direct(op, rng.gen_range(0..64)).immediate()
+                        }
+                    }
+                }
+            }
+            // ---- read-modify-write ----
+            42..=47 => {
+                if rng.gen_bool(0.6) {
+                    Instr::pr_relative(Opcode::Aos, 1, rng.gen_range(0..250))
+                } else {
+                    Instr::pr_relative(Opcode::Aos, 4, rng.gen_range(0..2040))
+                }
+            }
+            // ---- pointer loads (EAP into a scratch PR) ----
+            48..=52 => {
+                let xreg = if rng.gen_bool(0.5) { 5 } else { 7 };
+                if rng.gen_bool(0.3) {
+                    Instr::pr_relative(Opcode::Eap, 2, 2 * rng.gen_range(0..32u32))
+                        .with_indirect()
+                        .with_xreg(xreg)
+                } else {
+                    Instr::pr_relative(Opcode::Eap, 1, rng.gen_range(0..250)).with_xreg(xreg)
+                }
+            }
+            // ---- address-only ----
+            53..=59 => {
+                let op = [Opcode::Eaa, Opcode::Als, Opcode::Ars][rng.gen_range(0..3usize)];
+                if rng.gen_bool(0.5) {
+                    Instr::direct(op, rng.gen_range(0..40)).immediate()
+                } else {
+                    Instr::direct(op, rng.gen_range(0..40))
+                }
+            }
+            // ---- transfers within the code segment ----
+            60..=73 => {
+                let op = TRANSFERS[rng.gen_range(0..TRANSFERS.len())];
+                Instr::direct(op, rng.gen_range(0..250))
+            }
+            // ---- pointer-pair store (slow path by design) ----
+            74..=77 => Instr::pr_relative(Opcode::Spri, 1, rng.gen_range(0..200))
+                .with_xreg(rng.gen_range(1..6)),
+            // ---- index-register traffic ----
+            78..=81 => {
+                if rng.gen_bool(0.5) {
+                    Instr::pr_relative(Opcode::Ldx, 1, rng.gen_range(0..250))
+                        .with_xreg(rng.gen_range(1..4))
+                } else {
+                    Instr::pr_relative(Opcode::Stx, 1, rng.gen_range(0..250))
+                        .with_xreg(rng.gen_range(1..4))
+                }
+            }
+            // ---- no-operand ----
+            82..=85 => {
+                if rng.gen_bool(0.5) {
+                    Instr::direct(Opcode::Nop, 0)
+                } else {
+                    Instr::direct(Opcode::Neg, 0)
+                }
+            }
+            // ---- same-ring gate call into our own segment ----
+            86..=88 => Instr::direct(Opcode::Call, rng.gen_range(0..8)),
+            89 => Instr::pr_relative(Opcode::Return, 2, 0),
+            // ---- explicit trap ----
+            90 | 91 => Instr::direct(Opcode::Drl, rng.gen_range(0..8)),
+            // ---- raw garbage (decode fault) ----
+            92 => return Word::new(rng.gen()),
+            // ---- privileged refusals at ring 4 ----
+            93 | 94 => Instr::direct(PRIVILEGED[rng.gen_range(0..PRIVILEGED.len())], 0),
+            // ---- reads through the higher-ring pointer ----
+            95 | 96 => Instr::pr_relative(Opcode::Lda, 5, rng.gen_range(0..60)),
+            // ---- reads from the code segment itself ----
+            _ => Instr::direct(Opcode::Lda, rng.gen_range(0..256)),
+        };
+    instr.encode()
+}
+
+/// Builds a world with one random program and data image, identical
+/// for every call with the same seed; `fastpath` selects the engine.
+fn build_world(seed: u64, fastpath: bool) -> World {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = World::with_config(MachineConfig {
+        fastpath,
+        ..MachineConfig::default()
+    });
+    let code = w.add_segment(
+        CODE,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4)
+            .gates(8)
+            .bound_words(256),
+    );
+    let data = w.add_segment(DATA, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(256));
+    let table = w.add_segment(TABLE, SdwBuilder::data(Ring::R4, Ring::R5).bound_words(64));
+    let ro = w.add_segment(RO, SdwBuilder::data(Ring::R2, Ring::R5).bound_words(64));
+    let _ = ro;
+    w.add_standard_stacks(16);
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+
+    // A two-page paged data segment with hand-built page table, so the
+    // fast path's PTW staleness compare and the slow path's used /
+    // modified bit writes are both exercised.
+    let pt = w.alloc_raw(2);
+    let raw = w.alloc_raw(3 * 1024);
+    let frame0_base = (raw.value() + 1023) & !1023;
+    for (page, base) in [(0u32, frame0_base), (1, frame0_base + 1024)] {
+        let ptw = Ptw::present(base >> 10).expect("frame number");
+        w.machine
+            .phys_mut()
+            .poke(pt.wrapping_add(page), ptw.pack())
+            .expect("poke ptw");
+    }
+    let paged_sdw = SdwBuilder::data(Ring::R4, Ring::R4)
+        .addr(pt)
+        .unpaged(false)
+        .bound_words(2048)
+        .build();
+    w.install_sdw(PAGED, &paged_sdw);
+
+    // Data image: mostly small values (so indexed addressing stays in
+    // bounds more often than not), some full-width noise.
+    for i in 0..256 {
+        let v = if rng.gen_bool(0.9) {
+            rng.gen_range(0..256u64)
+        } else {
+            rng.gen()
+        };
+        w.poke(data, i, Word::new(v));
+    }
+    for i in 0..2048u32 {
+        let v = if rng.gen_bool(0.9) {
+            rng.gen_range(0..256u64)
+        } else {
+            rng.gen()
+        };
+        w.machine
+            .phys_mut()
+            .poke(
+                AbsAddr::new(frame0_base + i).expect("frame word"),
+                Word::new(v),
+            )
+            .expect("poke frame");
+    }
+
+    // Indirect-word table: mostly terminal words into the data segment,
+    // a quarter chaining deeper into the table (loops included — the
+    // indirection limit must fault identically on both paths).
+    for k in 0..32u32 {
+        let iw = if rng.gen_bool(0.25) {
+            IndWord::new(Ring::R4, addr(TABLE, 2 * rng.gen_range(0..32u32)), true)
+        } else {
+            IndWord::new(
+                ring_mostly_r4(&mut rng),
+                addr(DATA, rng.gen_range(0..250)),
+                false,
+            )
+        };
+        w.write_ind_word(table, 2 * k, iw);
+    }
+
+    // The program: random instructions, with an explicit trap fence at
+    // the end so falling off the code always halts via the handler.
+    for i in 0..250u32 {
+        w.poke(code, i, gen_instr(&mut rng));
+    }
+    for i in 250..256u32 {
+        w.poke_instr(code, i, Instr::direct(Opcode::Drl, 0));
+    }
+
+    w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(DATA, 0)));
+    w.machine.set_pr(2, PtrReg::new(Ring::R4, addr(TABLE, 0)));
+    w.machine.set_pr(3, PtrReg::new(Ring::R4, addr(RO, 0)));
+    w.machine.set_pr(4, PtrReg::new(Ring::R4, addr(PAGED, 0)));
+    w.machine.set_pr(5, PtrReg::new(Ring::R5, addr(TABLE, 0)));
+    w.machine.enable_metrics();
+    w.start(Ring::R4, code, 0);
+    w
+}
+
+/// Architectural slice of the metrics CSV: everything except the
+/// `fastpath.*` lines, which legitimately differ between the engines.
+fn arch_metrics_csv(m: &Machine) -> String {
+    m.metrics_snapshot()
+        .to_csv()
+        .lines()
+        .filter(|l| !l.starts_with("fastpath."))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn assert_machines_equal(fast: &Machine, slow: &Machine, at: &str) {
+    assert_eq!(fast.cycles(), slow.cycles(), "cycles diverged {at}");
+    assert_eq!(fast.ipr(), slow.ipr(), "IPR diverged {at}");
+    assert_eq!(fast.a(), slow.a(), "A diverged {at}");
+    assert_eq!(fast.q(), slow.q(), "Q diverged {at}");
+    for n in 0..8 {
+        assert_eq!(fast.xreg(n), slow.xreg(n), "X{n} diverged {at}");
+        assert_eq!(fast.pr(n), slow.pr(n), "PR{n} diverged {at}");
+    }
+    assert_eq!(fast.last_fault(), slow.last_fault(), "fault diverged {at}");
+    assert_eq!(fast.halted(), slow.halted(), "halt state diverged {at}");
+}
+
+/// Steps both engines over the same seed, checking full architectural
+/// equality after every instruction and whole-world equality at the
+/// end. Returns the number of fast-path commits, so callers can check
+/// the fast path was actually exercised.
+fn run_lockstep(seed: u64, steps: usize) -> u64 {
+    let mut fast = build_world(seed, true);
+    let mut slow = build_world(seed, false);
+    for i in 0..steps {
+        let of = fast.machine.step();
+        let os = slow.machine.step();
+        let at = format!("at step {i} (seed {seed:#018x})");
+        assert_eq!(of, os, "outcome diverged {at}");
+        assert_machines_equal(&fast.machine, &slow.machine, &at);
+        if of == StepOutcome::Halted {
+            break;
+        }
+    }
+    let at = format!("after run (seed {seed:#018x})");
+    assert_eq!(
+        fast.machine.stats().instructions,
+        slow.machine.stats().instructions,
+        "instruction count diverged {at}"
+    );
+    assert_eq!(
+        fast.machine.stats().traps,
+        slow.machine.stats().traps,
+        "trap count diverged {at}"
+    );
+    assert_eq!(
+        fast.machine.phys().read_count(),
+        slow.machine.phys().read_count(),
+        "counted reads diverged {at}"
+    );
+    assert_eq!(
+        fast.machine.phys().write_count(),
+        slow.machine.phys().write_count(),
+        "counted writes diverged {at}"
+    );
+    assert_eq!(
+        fast.machine.sdw_cache_stats(),
+        slow.machine.sdw_cache_stats(),
+        "SDW cache statistics diverged {at}"
+    );
+    assert_eq!(
+        arch_metrics_csv(&fast.machine),
+        arch_metrics_csv(&slow.machine),
+        "architectural metrics diverged {at}"
+    );
+    for a in 0..SWEEP_WORDS {
+        let aa = AbsAddr::new(a).expect("sweep address");
+        assert_eq!(
+            fast.machine.phys().peek(aa).expect("peek fast"),
+            slow.machine.phys().peek(aa).expect("peek slow"),
+            "memory diverged at {a:#o} (seed {seed:#018x})"
+        );
+    }
+    fast.machine.stats().fast_steps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance gate: random programs, both engines, identical
+    /// registers, memory, faults, traps and cycle counts at every step.
+    #[test]
+    fn fast_and_slow_engines_agree(seed in any::<u64>()) {
+        run_lockstep(seed, 400);
+    }
+}
+
+/// Fixed seeds with longer runs, and proof that the differential
+/// harness is not vacuous: across a handful of seeds the fast path
+/// must commit a healthy share of instructions.
+#[test]
+fn fast_path_commits_most_instructions() {
+    let mut total_fast = 0u64;
+    for seed in [1u64, 2, 3, 0x645, 0xdead_beef] {
+        total_fast += run_lockstep(seed, 1200);
+    }
+    assert!(
+        total_fast > 100,
+        "fast path barely engaged ({total_fast} commits) — differential tests are vacuous"
+    );
+}
+
+/// A tight loop must run almost entirely on the fast path, with both
+/// lookaside structures reporting hits.
+#[test]
+fn fast_path_engages_on_tight_loop() {
+    let mut w = World::new();
+    let code = w.add_segment(
+        CODE,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+    );
+    let data = w.add_segment(DATA, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.poke(data, 0, Word::new(200));
+    w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(DATA, 0)));
+    w.poke_instr(code, 0, Instr::pr_relative(Opcode::Lda, 1, 0));
+    w.poke_instr(code, 1, Instr::direct(Opcode::Sba, 1).immediate());
+    w.poke_instr(code, 2, Instr::pr_relative(Opcode::Sta, 1, 0));
+    w.poke_instr(code, 3, Instr::direct(Opcode::Tnz, 0));
+    w.poke_instr(code, 4, Instr::direct(Opcode::Drl, 0));
+    w.start(Ring::R4, code, 0);
+    w.machine.run(2000);
+    assert!(w.machine.halted(), "loop did not run to completion");
+    let stats = w.machine.stats();
+    let fp = w.machine.fastpath_stats();
+    assert!(
+        stats.fast_steps * 10 >= stats.instructions * 9,
+        "tight loop should be >=90% fast path: {} of {}",
+        stats.fast_steps,
+        stats.instructions
+    );
+    assert!(fp.tlb_hits > 0, "translation lookaside never hit");
+    assert!(fp.icache_hits > 0, "instruction cache never hit");
+}
+
+/// Self-modifying code: the predecoded instruction cache keys on the
+/// raw word, so a store into an already-executed (and cached) word must
+/// take effect on the very next execution — on both engines, with
+/// identical cycle counts.
+#[test]
+fn self_modifying_code_is_seen_immediately() {
+    let build = |fastpath: bool| -> World {
+        let mut w = World::with_config(MachineConfig {
+            fastpath,
+            ..MachineConfig::default()
+        });
+        let code = w.add_segment(
+            CODE,
+            SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4)
+                .write(true)
+                .bound_words(16),
+        );
+        let data = w.add_segment(DATA, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+        let trap = w.add_trap_segment();
+        w.machine
+            .register_native(trap, |_, _| Ok(NativeAction::Halt));
+        // data[0] holds the replacement instruction: TRA 6.
+        w.poke(data, 0, Instr::direct(Opcode::Tra, 6).encode());
+        w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(DATA, 0)));
+        w.poke_instr(code, 0, Instr::pr_relative(Opcode::Ldq, 1, 0));
+        w.poke_instr(code, 1, Instr::direct(Opcode::Lda, 7).immediate());
+        w.poke_instr(code, 2, Instr::direct(Opcode::Stq, 1));
+        w.poke_instr(code, 3, Instr::direct(Opcode::Tra, 1));
+        // Second execution of word 1 must be the stored TRA 6.
+        w.poke_instr(code, 4, Instr::direct(Opcode::Drl, 1));
+        w.poke_instr(code, 5, Instr::direct(Opcode::Drl, 2));
+        w.poke_instr(code, 6, Instr::direct(Opcode::Drl, 3));
+        w.start(Ring::R4, code, 0);
+        w
+    };
+    let mut fast = build(true);
+    let mut slow = build(false);
+    for i in 0..50 {
+        let of = fast.machine.step();
+        let os = slow.machine.step();
+        let at = format!("at step {i}");
+        assert_eq!(of, os, "outcome diverged {at}");
+        assert_machines_equal(&fast.machine, &slow.machine, &at);
+        if of == StepOutcome::Halted {
+            break;
+        }
+    }
+    assert!(
+        fast.machine.halted(),
+        "program looped: stale instruction executed"
+    );
+    // The halt came from the DRL at word 6 — i.e. the rewritten word 1
+    // transferred there, it did not fall through as the original LDA.
+    assert_eq!(fast.machine.a(), Word::new(7), "word 1 never ran as LDA");
+    assert!(
+        fast.machine.stats().fast_steps > 0,
+        "fast path never engaged, cache invalidation untested"
+    );
+}
+
+/// Supervisor revocation: after a warm fast-path translation for a
+/// writable segment, a ring-0 descriptor store clearing the write flag
+/// must take effect on the very next reference — the lookaside may not
+/// serve the stale grant.
+#[test]
+fn descriptor_store_revokes_warm_translations() {
+    let build = |fastpath: bool| -> World {
+        let mut w = World::with_config(MachineConfig {
+            fastpath,
+            ..MachineConfig::default()
+        });
+        let code = w.add_segment(
+            CODE,
+            SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+        );
+        let data = w.add_segment(DATA, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+        let trap = w.add_trap_segment();
+        w.machine
+            .register_native(trap, |_, _| Ok(NativeAction::Halt));
+        let _ = data;
+        w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(DATA, 0)));
+        w.poke_instr(code, 0, Instr::pr_relative(Opcode::Sta, 1, 0));
+        w.poke_instr(code, 1, Instr::pr_relative(Opcode::Sta, 1, 1));
+        w.poke_instr(code, 2, Instr::direct(Opcode::Drl, 0));
+        w.start(Ring::R4, code, 0);
+        w
+    };
+    let revoke = |w: &mut World| {
+        // Front-panel supervisor intervention: drop to ring 0, rewrite
+        // the descriptor without the write flag, return to the program.
+        let saved = w.machine.ipr();
+        w.machine.set_ipr(Ipr::new(Ring::R0, saved.addr));
+        let mut sdw = w.read_sdw(DATA);
+        sdw.write = false;
+        w.machine
+            .store_descriptor(SegNo::new(DATA).expect("segno"), &sdw)
+            .expect("ring-0 descriptor store");
+        w.machine.set_ipr(saved);
+    };
+    let mut fast = build(true);
+    let mut slow = build(false);
+    // First store succeeds and warms the fast-path translation.
+    assert_eq!(fast.machine.step(), StepOutcome::Ran);
+    assert_eq!(slow.machine.step(), StepOutcome::Ran);
+    assert_machines_equal(&fast.machine, &slow.machine, "after warm-up store");
+    revoke(&mut fast);
+    revoke(&mut slow);
+    // Second store must now be refused — identically on both engines.
+    let of = fast.machine.step();
+    let os = slow.machine.step();
+    assert_eq!(of, os, "post-revocation outcome diverged");
+    assert!(
+        matches!(of, StepOutcome::Trapped(Fault::AccessViolation { .. })),
+        "revoked write was not refused: {of:?}"
+    );
+    assert_machines_equal(&fast.machine, &slow.machine, "after revoked store");
+}
+
+/// Address-space switch: LDBR must flush every fast-path translation,
+/// so a reference that hits the lookaside before the switch reads
+/// through the *new* descriptor segment after it.
+#[test]
+fn dbr_load_flushes_warm_translations() {
+    let build = |fastpath: bool| -> World {
+        let mut w = World::with_config(MachineConfig {
+            fastpath,
+            ..MachineConfig::default()
+        });
+        let code = w.add_segment(
+            CODE,
+            SdwBuilder::procedure(Ring::R0, Ring::R0, Ring::R0).bound_words(16),
+        );
+        let data = w.add_segment(DATA, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+        let trap = w.add_trap_segment();
+        w.machine
+            .register_native(trap, |_, _| Ok(NativeAction::Halt));
+        w.poke(data, 0, Word::new(111));
+
+        // Second address space: a fresh descriptor segment mapping the
+        // same code and trap segments, but segment DATA onto different
+        // storage holding a different sentinel.
+        let ndesc = w.alloc_raw(128);
+        let nstore = w.alloc_raw(16);
+        w.machine
+            .phys_mut()
+            .poke(nstore, Word::new(222))
+            .expect("poke sentinel");
+        let code_sdw = w.read_sdw(CODE);
+        let trap_sdw = w.read_sdw(trap.value());
+        let ndata = SdwBuilder::data(Ring::R4, Ring::R4)
+            .addr(nstore)
+            .bound_words(16)
+            .build();
+        for (segno, sdw) in [(CODE, &code_sdw), (trap.value(), &trap_sdw), (DATA, &ndata)] {
+            let (w0, w1) = sdw.pack();
+            let base = ndesc.wrapping_add(2 * segno);
+            w.machine.phys_mut().poke(base, w0).expect("poke sdw");
+            w.machine
+                .phys_mut()
+                .poke(base.wrapping_add(1), w1)
+                .expect("poke sdw");
+        }
+        let ndbr = Dbr::new(ndesc, 64, w.dbr().stack_base);
+        let (d0, d1) = ndbr.pack();
+        w.poke(data, 8, d0);
+        w.poke(data, 9, d1);
+
+        w.machine.set_pr(1, PtrReg::new(Ring::R0, addr(DATA, 0)));
+        w.poke_instr(code, 0, Instr::pr_relative(Opcode::Lda, 1, 0));
+        w.poke_instr(code, 1, Instr::pr_relative(Opcode::Ldbr, 1, 8));
+        w.poke_instr(code, 2, Instr::pr_relative(Opcode::Lda, 1, 0));
+        w.poke_instr(code, 3, Instr::direct(Opcode::Halt, 0));
+        w.start(Ring::R0, code, 0);
+        w
+    };
+    let mut fast = build(true);
+    let mut slow = build(false);
+    for i in 0..10 {
+        let of = fast.machine.step();
+        let os = slow.machine.step();
+        let at = format!("at step {i}");
+        assert_eq!(of, os, "outcome diverged {at}");
+        assert_machines_equal(&fast.machine, &slow.machine, &at);
+        if of == StepOutcome::Halted {
+            break;
+        }
+    }
+    assert!(fast.machine.halted(), "program did not halt");
+    assert_eq!(
+        slow.machine.a(),
+        Word::new(222),
+        "reference architecture did not switch address spaces"
+    );
+    assert_eq!(
+        fast.machine.a(),
+        Word::new(222),
+        "fast path served a stale pre-LDBR translation"
+    );
+}
+
+/// The interval timer decrements by the same per-instruction cycle
+/// cost on both engines, so the asynchronous runout trap must land on
+/// exactly the same instruction.
+#[test]
+fn timer_runout_lands_identically() {
+    let build = |fastpath: bool| -> World {
+        let mut w = World::with_config(MachineConfig {
+            fastpath,
+            ..MachineConfig::default()
+        });
+        let code = w.add_segment(
+            CODE,
+            SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(16),
+        );
+        let data = w.add_segment(DATA, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+        let trap = w.add_trap_segment();
+        w.machine
+            .register_native(trap, |_, _| Ok(NativeAction::Halt));
+        w.poke(data, 0, Word::new(1_000_000));
+        w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(DATA, 0)));
+        w.poke_instr(code, 0, Instr::pr_relative(Opcode::Lda, 1, 0));
+        w.poke_instr(code, 1, Instr::pr_relative(Opcode::Aos, 1, 0));
+        w.poke_instr(code, 2, Instr::direct(Opcode::Tra, 0));
+        w.machine.set_timer(Some(137));
+        w.start(Ring::R4, code, 0);
+        w
+    };
+    let mut fast = build(true);
+    let mut slow = build(false);
+    for i in 0..200 {
+        let of = fast.machine.step();
+        let os = slow.machine.step();
+        let at = format!("at step {i}");
+        assert_eq!(of, os, "outcome diverged {at}");
+        assert_machines_equal(&fast.machine, &slow.machine, &at);
+        if of == StepOutcome::Halted {
+            break;
+        }
+    }
+    assert!(fast.machine.halted(), "timer never ran out");
+    assert!(
+        matches!(fast.machine.last_fault(), Some(Fault::TimerRunout)),
+        "halt did not come from the timer trap"
+    );
+}
