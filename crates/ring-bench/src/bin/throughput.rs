@@ -27,7 +27,13 @@
 //! cycle counts and instruction counts are identical*, and writes a
 //! JSON report (schema `ring-bench/throughput/v1`, default
 //! `BENCH_throughput.json`) with both wall-clock numbers and the
-//! speedup. `--quick` shrinks iteration counts to one short pass for
+//! speedup. A second section measures the span flight recorder's
+//! wall-clock overhead (recorder on versus off, same engine) on the
+//! tight loop — which crosses rings only at exit, so this is the
+//! no-crossing cost — and on the gate storm, which emits two events
+//! per iteration;
+//! the report's `spans` block carries both runs and the slowdown
+//! factor. `--quick` shrinks iteration counts to one short pass for
 //! CI smoke runs; the report then carries `"quick": true` so nobody
 //! mistakes the numbers for measurements.
 
@@ -239,6 +245,86 @@ fn measure(
     }
 }
 
+struct SpanOverheadReport {
+    name: &'static str,
+    span_events: u64,
+    disabled: EngineRun,
+    enabled: EngineRun,
+    /// Slowdown factor of recording: disabled ips / enabled ips.
+    overhead: f64,
+    cycles_equal: bool,
+}
+
+/// One fastpath-engine run of `build`'s workload with the span flight
+/// recorder on or off; returns the run plus the events recorded.
+fn run_with_spans(
+    build: fn(bool, u64) -> World,
+    iters: u64,
+    budget: u64,
+    spans: bool,
+) -> (EngineRun, u64) {
+    let mut w = build(true, iters);
+    if spans {
+        w.machine.enable_spans();
+    }
+    let start = Instant::now();
+    let exit = w.machine.run(budget);
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(exit, RunExit::Halted, "workload did not run to completion");
+    let instructions = w.machine.stats().instructions;
+    let events = w.machine.spans().events().len() as u64;
+    (
+        EngineRun {
+            seconds,
+            ips: instructions as f64 / seconds.max(1e-9),
+            instructions,
+            cycles: w.machine.cycles(),
+        },
+        events,
+    )
+}
+
+/// Span-recording overhead on one workload: same engine (fastpath),
+/// recorder on versus off, interleaved best-of-N. Recording must never
+/// change simulated cycles; the wall-clock ratio is the honest price
+/// of the flight recorder.
+fn measure_spans(
+    name: &'static str,
+    iters: u64,
+    passes: u32,
+    build: fn(bool, u64) -> World,
+) -> SpanOverheadReport {
+    let budget = 64 * iters + 10_000;
+    run_with_spans(build, iters.min(1000), budget, true);
+    run_with_spans(build, iters.min(1000), budget, false);
+    let mut on_best: Option<(EngineRun, u64)> = None;
+    let mut off_best: Option<EngineRun> = None;
+    for _ in 0..passes.max(1) {
+        let on = run_with_spans(build, iters, budget, true);
+        if on_best.as_ref().is_none_or(|b| on.0.seconds < b.0.seconds) {
+            on_best = Some(on);
+        }
+        let (off, _) = run_with_spans(build, iters, budget, false);
+        if off_best.as_ref().is_none_or(|b| off.seconds < b.seconds) {
+            off_best = Some(off);
+        }
+    }
+    let (enabled, span_events) = on_best.expect("at least one pass");
+    let disabled = off_best.expect("at least one pass");
+    assert_eq!(
+        enabled.cycles, disabled.cycles,
+        "{name}: span recording changed simulated cycles"
+    );
+    SpanOverheadReport {
+        name,
+        span_events,
+        overhead: disabled.ips / enabled.ips.max(1e-9),
+        cycles_equal: enabled.cycles == disabled.cycles,
+        disabled,
+        enabled,
+    }
+}
+
 fn engine_json(run: &EngineRun) -> String {
     format!(
         "{{\"seconds\": {:.6}, \"ips\": {:.1}, \"instructions\": {}, \"cycles\": {}}}",
@@ -264,6 +350,10 @@ fn main() {
         measure("gate_storm", iters / 5, passes, gate_storm),
         measure("indirect_chain", iters, passes, indirect_chain),
     ];
+    let span_reports = [
+        measure_spans("tight_loop", iters, passes, tight_loop),
+        measure_spans("gate_storm", iters / 5, passes, gate_storm),
+    ];
 
     println!(
         "{:<16} {:>12} {:>14} {:>14} {:>9}",
@@ -273,6 +363,16 @@ fn main() {
         println!(
             "{:<16} {:>12} {:>14.0} {:>14.0} {:>8.2}x",
             r.name, r.instructions, r.baseline.ips, r.fastpath.ips, r.speedup
+        );
+    }
+    println!(
+        "\n{:<16} {:>12} {:>14} {:>14} {:>9}",
+        "span recording", "span events", "disabled ips", "enabled ips", "overhead"
+    );
+    for s in &span_reports {
+        println!(
+            "{:<16} {:>12} {:>14.0} {:>14.0} {:>8.2}x",
+            s.name, s.span_events, s.disabled.ips, s.enabled.ips, s.overhead
         );
     }
 
@@ -291,8 +391,23 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let spans = span_reports
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"span_events\": {}, \"disabled\": {}, \"enabled\": {}, \"overhead\": {:.3}, \"cycles_equal\": {}}}",
+                s.name,
+                s.span_events,
+                engine_json(&s.disabled),
+                engine_json(&s.enabled),
+                s.overhead,
+                s.cycles_equal
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"schema\": \"ring-bench/throughput/v1\",\n  \"quick\": {quick},\n  \"workloads\": [\n{workloads}\n  ]\n}}\n"
+        "{{\n  \"schema\": \"ring-bench/throughput/v1\",\n  \"quick\": {quick},\n  \"workloads\": [\n{workloads}\n  ],\n  \"spans\": [\n{spans}\n  ]\n}}\n"
     );
     std::fs::write(&out, json).expect("write report");
     println!("wrote {out}");

@@ -53,6 +53,16 @@ impl Machine {
         };
         self.metrics
             .crossing(kind, self.ipr.ring, decision.new_ring);
+        self.spans.open(
+            ring_trace::SpanKind::Call,
+            ring_trace::SpanKey {
+                ring: decision.new_ring.number(),
+                segno: tpr.addr.segno.value(),
+                entry: tpr.addr.wordno.value(),
+            },
+            self.ipr.ring.number(),
+            self.cycles,
+        );
 
         self.ipr.ring = decision.new_ring;
         self.ipr.addr = tpr.addr;
@@ -87,6 +97,7 @@ impl Machine {
         };
         self.metrics
             .crossing(kind, self.ipr.ring, decision.new_ring);
+        self.spans.close(decision.new_ring.number(), self.cycles);
 
         self.ipr.ring = decision.new_ring;
         self.ipr.addr = tpr.addr;

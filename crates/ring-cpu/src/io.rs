@@ -186,6 +186,77 @@ impl IoSystem {
         Some(idx as u8)
     }
 
+    /// Serializes the complete I/O state — device queues and in-flight
+    /// channel programs — as flat words, for machine-image capture.
+    pub fn export_words(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (dev, op) in self.devices.iter().zip(self.inflight.iter()) {
+            out.push(dev.output.len() as u64);
+            out.extend(dev.output.iter().map(|w| w.raw()));
+            out.push(dev.input.len() as u64);
+            out.extend(dev.input.iter().map(|w| w.raw()));
+            match op {
+                None => out.push(0),
+                Some(o) => {
+                    out.push(1);
+                    out.push(u64::from(o.abs.value()));
+                    out.push(u64::from(o.count));
+                    out.push(match o.direction {
+                        Direction::Output => 0,
+                        Direction::Input => 1,
+                    });
+                    out.push(o.done_at);
+                }
+            }
+        }
+        out
+    }
+
+    /// Restores state captured by [`IoSystem::export_words`].
+    pub fn restore_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut pos = 0usize;
+        let mut next = |n: usize| -> Result<&[u64], String> {
+            let slice = words
+                .get(pos..pos + n)
+                .ok_or_else(|| "truncated I/O image".to_string())?;
+            pos += n;
+            Ok(slice)
+        };
+        let mut devices = Vec::with_capacity(NUM_CHANNELS);
+        let mut inflight = Vec::with_capacity(NUM_CHANNELS);
+        let mut busy_count = 0u32;
+        for _ in 0..NUM_CHANNELS {
+            let out_len = next(1)?[0] as usize;
+            let output = next(out_len)?.iter().map(|&w| Word::new(w)).collect();
+            let in_len = next(1)?[0] as usize;
+            let input = next(in_len)?.iter().map(|&w| Word::new(w)).collect();
+            devices.push(TtyDevice { output, input });
+            if next(1)?[0] == 0 {
+                inflight.push(None);
+            } else {
+                let fields = next(4)?;
+                inflight.push(Some(Operation {
+                    abs: AbsAddr::from_bits(fields[0]),
+                    count: fields[1] as u32,
+                    direction: if fields[2] == 0 {
+                        Direction::Output
+                    } else {
+                        Direction::Input
+                    },
+                    done_at: fields[3],
+                }));
+                busy_count += 1;
+            }
+        }
+        if pos != words.len() {
+            return Err("trailing data in I/O image".to_string());
+        }
+        self.devices = devices;
+        self.inflight = inflight;
+        self.busy_count = busy_count;
+        Ok(())
+    }
+
     /// Builds the SIO operand pair for a transfer.
     pub fn channel_program(
         channel: u8,
@@ -272,6 +343,36 @@ mod tests {
             io.start(w0, w1, 0),
             Err(Fault::Derail { code: 0o77 })
         ));
+    }
+
+    #[test]
+    fn export_restore_round_trips_io_state() {
+        let mut io = IoSystem::new();
+        io.device_mut(2).type_line("queued");
+        io.device_mut(5).output.push(Word::new(0o123));
+        let (w0, w1) = IoSystem::channel_program(3, Direction::Input, AbsAddr::new(64).unwrap(), 9);
+        io.start(w0, w1, 1000).unwrap();
+
+        let words = io.export_words();
+        let mut fresh = IoSystem::new();
+        fresh.restore_words(&words).unwrap();
+        assert!(fresh.busy(3));
+        assert!(!fresh.busy(0));
+        assert_eq!(fresh.device(5).output, io.device(5).output);
+        assert_eq!(fresh.device(2).input, io.device(2).input);
+        // The restored in-flight operation completes identically.
+        let mut p1 = PhysMem::new(128);
+        let mut p2 = PhysMem::new(128);
+        let done = 1000 + CHANNEL_LATENCY + 9 * CYCLES_PER_WORD;
+        assert_eq!(
+            io.take_completion(done, &mut p1),
+            fresh.take_completion(done, &mut p2)
+        );
+        for i in 0..128 {
+            let a = AbsAddr::new(i).unwrap();
+            assert_eq!(p1.peek(a).unwrap(), p2.peek(a).unwrap());
+        }
+        assert!(fresh.restore_words(&words[..words.len() - 1]).is_err());
     }
 
     #[test]

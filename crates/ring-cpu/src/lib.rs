@@ -31,18 +31,23 @@ pub mod callret;
 pub mod ea;
 pub mod exec;
 mod fastpath;
+pub mod image;
 pub mod io;
 pub mod isa;
 pub mod machine;
 pub mod native;
+pub mod recorder;
 pub mod testkit;
 pub mod trace;
 pub mod trap;
 
+pub use image::MachineImage;
 pub use io::{Direction, IoSystem, TtyDevice};
 pub use isa::{AddrMode, Instr, Opcode, OperandUse};
 pub use machine::{CostModel, ExecStats, Machine, MachineConfig, RunExit, StepOutcome};
 pub use native::{NativeAction, NativeFn, NativeRegistry};
+pub use recorder::{replay, run_recorded, seek, Recorder, ReplayReport, DEFAULT_CHECKPOINT_EVERY};
 pub use ring_metrics::{Crossing, FastPathStats, Metrics, MetricsSnapshot, SdwCacheStats};
+pub use ring_trace::{SpanEvent, SpanKey, SpanKind, SpanRecorder};
 pub use trace::TraceEvent;
 pub use trap::SavedState;

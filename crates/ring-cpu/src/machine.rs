@@ -222,6 +222,7 @@ pub struct Machine {
     pub(crate) last_use: Option<crate::isa::OperandUse>,
     pub(crate) extra_cycles: u64,
     pub(crate) fast: crate::fastpath::FastState,
+    pub(crate) spans: ring_trace::SpanRecorder,
 }
 
 impl Machine {
@@ -256,6 +257,7 @@ impl Machine {
             last_use: None,
             extra_cycles: 0,
             fast: crate::fastpath::FastState::new(),
+            spans: ring_trace::SpanRecorder::new(),
         }
     }
 
@@ -373,6 +375,11 @@ impl Machine {
         self.halted
     }
 
+    /// The fault that caused a double-fault halt, if any.
+    pub fn double_fault(&self) -> Option<Fault> {
+        self.double_fault
+    }
+
     /// Clears the halt condition (operator restart). Double faults are
     /// not cleared — a machine that faulted while entering a trap needs
     /// its world repaired, not a restart.
@@ -427,6 +434,25 @@ impl Machine {
     /// Trace events discarded so far because the buffer was full.
     pub fn trace_dropped(&self) -> u64 {
         self.trace.dropped()
+    }
+
+    /// Turns on the span flight recorder: every CALL and trap entry
+    /// opens a span and every RETURN/RETT closes it, keyed by `(ring,
+    /// segment, entry word)`. Off by default: a disabled recorder costs
+    /// one branch on the CALL/RETURN/trap slow paths only and changes
+    /// no architectural state either way.
+    pub fn enable_spans(&mut self) {
+        self.spans.enable();
+    }
+
+    /// The span recorder (read-only).
+    pub fn spans(&self) -> &ring_trace::SpanRecorder {
+        &self.spans
+    }
+
+    /// Drains the recorded span events (the recorder stays enabled).
+    pub fn take_span_events(&mut self) -> Vec<ring_trace::SpanEvent> {
+        self.spans.take_events()
     }
 
     /// Turns on metrics collection (ring crossings, faults, cycle

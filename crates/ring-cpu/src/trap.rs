@@ -145,6 +145,25 @@ impl Machine {
             _ => Crossing::TrapToRing0,
         };
         self.metrics.crossing(kind, from, Ring::R0);
+        if self.spans.is_enabled() {
+            let ikind = if matches!(fault, Fault::AccessViolation { .. }) {
+                ring_trace::InstantKind::Violation
+            } else {
+                ring_trace::InstantKind::Fault
+            };
+            self.spans
+                .instant(ikind, from.number(), self.cycles, || fault.to_string());
+            self.spans.open(
+                ring_trace::SpanKind::Trap,
+                ring_trace::SpanKey {
+                    ring: 0,
+                    segno: self.config.trap_segno.value(),
+                    entry: fault.vector(),
+                },
+                from.number(),
+                self.cycles,
+            );
+        }
         self.cycles += self.config.costs.trap_overhead;
         self.last_fault = Some(fault);
 
@@ -223,6 +242,7 @@ impl Machine {
         self.restore(&state);
         self.in_trap = false;
         self.last_fault = None;
+        self.spans.close(self.ipr.ring.number(), self.cycles);
         self.charge(self.config.costs.rett_overhead);
         Ok(())
     }

@@ -138,6 +138,47 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_keeps_sequence_numbers_contiguous() {
+        // Push far past capacity several times over: the survivors'
+        // sequence numbers must stay contiguous and end at the last
+        // pushed sequence, no matter where the wrap landed.
+        let mut r = EventRing::new(5);
+        for i in 0..23u64 {
+            r.push(i);
+        }
+        let held: Vec<(u64, u64)> = r.drain();
+        assert_eq!(held.len(), 5);
+        for pair in held.windows(2) {
+            assert_eq!(pair[1].0, pair[0].0 + 1, "sequence gap across the wrap");
+        }
+        assert_eq!(held.last().unwrap().0, 22);
+        // Each held sequence number still tags the event pushed under
+        // it — the drop discards entries, never renumbers them.
+        for (seq, ev) in held {
+            assert_eq!(seq, ev);
+        }
+    }
+
+    #[test]
+    fn dropped_is_exact_at_and_past_the_capacity_boundary() {
+        let cap = 4;
+        let mut r = EventRing::new(cap);
+        // Filling to exactly capacity drops nothing.
+        for i in 0..cap {
+            r.push(i);
+            assert_eq!(r.dropped(), 0);
+        }
+        assert_eq!(r.len(), cap);
+        // Every push past capacity drops exactly one.
+        for extra in 1..=7u64 {
+            r.push(0);
+            assert_eq!(r.dropped(), extra);
+            assert_eq!(r.len(), cap, "len is pinned at capacity after the wrap");
+        }
+        assert_eq!(r.total_recorded(), cap as u64 + 7);
+    }
+
+    #[test]
     fn iter_is_oldest_first() {
         let mut r = EventRing::new(8);
         for i in 0..5 {

@@ -289,6 +289,25 @@ impl System {
         self.machine.enable_metrics();
     }
 
+    /// Turns on the span flight recorder: every gate CALL and trap the
+    /// supervisor mediates opens a span, closed by the matching
+    /// RETURN/RETT, with per-gate cycle attribution.
+    pub fn enable_spans(&mut self) {
+        self.machine.enable_spans();
+    }
+
+    /// Drains the recorded span events (the recorder stays enabled).
+    pub fn take_span_events(&mut self) -> Vec<ring_trace::SpanEvent> {
+        self.machine.take_span_events()
+    }
+
+    /// The cross-ring call tree of the run so far, aggregated per gate
+    /// (sorted by total cycles).
+    pub fn span_gate_table(&self) -> Vec<ring_trace::GateStat> {
+        let tree = ring_trace::build_tree(self.machine.spans().events(), self.machine.cycles());
+        ring_trace::gate_table(&tree)
+    }
+
     /// Builds the unified observability snapshot: machine metrics and
     /// SDW-cache statistics, plus the supervisor's `os.*` counters and
     /// per-process crossing counts in the `extra` section.

@@ -386,6 +386,17 @@ impl RingTlb {
         }
     }
 
+    /// Empties the lookaside without counting a flush, leaving the
+    /// statistics counters intact. Used when restoring a machine image:
+    /// the lookaside is architecturally invisible, so a restore starts
+    /// it cold, but the counters accumulated so far (e.g. the flushes
+    /// world-building performed) are preserved so that a replay in an
+    /// identically built world reports identical statistics.
+    pub fn clear_preserving_stats(&mut self) {
+        self.slots.fill(EMPTY_ENTRY);
+        self.seg_counts.fill(0);
+    }
+
     /// Records `n` committed fast-path translations.
     #[inline]
     pub fn note_hits(&mut self, n: u64) {

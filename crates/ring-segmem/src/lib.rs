@@ -24,5 +24,5 @@ pub use fastpath::{FastHit, RingTlb, TlbStats};
 pub use layout::PhysAllocator;
 pub use paging::{Ptw, PAGE_WORDS};
 pub use phys::PhysMem;
-pub use sdw_cache::{CacheStats, SdwCache};
+pub use sdw_cache::{CacheStats, SdwCache, SdwCacheState};
 pub use translate::Translator;

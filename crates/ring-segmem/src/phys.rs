@@ -101,6 +101,30 @@ impl PhysMem {
         self.reads
     }
 
+    /// The nonzero words with their absolute addresses, for sparse
+    /// machine-image capture (uncounted).
+    pub fn nonzero_words(&self) -> Vec<(u32, Word)> {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.raw() != 0)
+            .map(|(i, w)| (i as u32, *w))
+            .collect()
+    }
+
+    /// Zeroes every word without touching the traffic counters (image
+    /// restore repopulates from a sparse capture afterwards).
+    pub fn zero_all(&mut self) {
+        self.words.fill(Word::ZERO);
+    }
+
+    /// Overwrites the traffic counters (image restore; the counters
+    /// feed cycle accounting, so replay must resume them exactly).
+    pub fn restore_counters(&mut self, reads: u64, writes: u64) {
+        self.reads = reads;
+        self.writes = writes;
+    }
+
     /// Total counted writes since construction.
     pub fn write_count(&self) -> u64 {
         self.writes

@@ -44,6 +44,18 @@ impl CacheStats {
     }
 }
 
+/// The externally visible replacement state of an [`SdwCache`],
+/// captured for record/replay checkpoints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SdwCacheState {
+    /// Slot contents, in slot order.
+    pub entries: Vec<Option<(SegNo, Sdw)>>,
+    /// The round-robin replacement cursor.
+    pub next_victim: usize,
+    /// Accumulated statistics at capture time.
+    pub stats: CacheStats,
+}
+
 /// A fully associative SDW cache with round-robin replacement.
 ///
 /// Capacity 0 disables caching (every lookup misses), which models the
@@ -186,6 +198,46 @@ impl SdwCache {
         self.stats
     }
 
+    /// Captures the complete replacement state for a checkpoint.
+    ///
+    /// The associative memory is architecturally visible through cycle
+    /// counts — a resident SDW absorbs the two-reference descriptor
+    /// fetch — so deterministic replay must restore its exact contents
+    /// and round-robin cursor, not just flush it.
+    pub fn export_state(&self) -> SdwCacheState {
+        SdwCacheState {
+            entries: self.entries.clone(),
+            next_victim: self.next_victim,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores a state captured by [`SdwCache::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a cache of a different
+    /// capacity (replay must rebuild the machine with the same
+    /// configuration it recorded).
+    pub fn restore_state(&mut self, state: &SdwCacheState) {
+        assert_eq!(
+            state.entries.len(),
+            self.entries.len(),
+            "SDW cache snapshot capacity mismatch"
+        );
+        self.entries.clone_from(&state.entries);
+        self.next_victim = state.next_victim;
+        self.stats = state.stats;
+        for e in self.index.iter_mut() {
+            *e = 0;
+        }
+        for (slot, entry) in self.entries.iter().enumerate() {
+            if let Some((s, _)) = entry {
+                self.index[s.value() as usize] = slot as u16 + 1;
+            }
+        }
+    }
+
     /// Clears the accumulated statistics (not the contents).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
@@ -294,6 +346,25 @@ mod tests {
         c.count_hits(3);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.flushes, s.invalidations), (3, 0, 0, 0));
+    }
+
+    #[test]
+    fn export_restore_round_trips_replacement_state() {
+        let mut c = SdwCache::new(2);
+        c.insert(seg(1), sdw(1));
+        c.insert(seg(2), sdw(2));
+        c.insert(seg(3), sdw(3)); // evicts seg 1, advances the cursor
+        c.lookup(seg(3));
+        let state = c.export_state();
+
+        let mut fresh = SdwCache::new(2);
+        fresh.restore_state(&state);
+        assert_eq!(fresh.export_state(), state);
+        // The restored cache must hit and evict exactly like the
+        // original from here on.
+        assert_eq!(fresh.lookup(seg(3)), c.lookup(seg(3)));
+        assert_eq!(fresh.insert(seg(4), sdw(4)), c.insert(seg(4), sdw(4)));
+        assert_eq!(fresh.export_state(), c.export_state());
     }
 
     /// The O(n)-scan cache the index replaced, kept as an executable

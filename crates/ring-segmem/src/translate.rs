@@ -19,7 +19,7 @@ use ring_core::word::Word;
 use crate::fastpath::{FastHit, RingTlb, TlbStats};
 use crate::paging::{split_wordno, Ptw};
 use crate::phys::PhysMem;
-use crate::sdw_cache::{CacheStats, SdwCache};
+use crate::sdw_cache::{CacheStats, SdwCache, SdwCacheState};
 
 /// The translation engine: descriptor-segment walker plus SDW
 /// associative memory, shadowed by the fast-path lookaside
@@ -152,6 +152,29 @@ impl Translator {
     /// Clears the associative-memory statistics.
     pub fn reset_cache_stats(&mut self) {
         self.cache.reset_stats();
+    }
+
+    /// Captures the associative memory's replacement state for a
+    /// record/replay checkpoint (the cache is architecturally visible
+    /// through cycle counts).
+    pub fn export_cache_state(&self) -> SdwCacheState {
+        self.cache.export_state()
+    }
+
+    /// Restores a checkpointed associative-memory state and rebuilds
+    /// the lookaside cold.
+    ///
+    /// The TLB is pure acceleration — its contents never change an
+    /// architectural outcome — so a restored machine starts with an
+    /// empty one. Its statistics counters are deliberately preserved
+    /// (not reset, and the clear is not counted as a flush): a replay
+    /// restores the image into an identically built world whose
+    /// world-building already accumulated the same counter values, so
+    /// preserving them keeps the replayed run's exported metrics
+    /// bit-identical to the recorded run's.
+    pub fn restore_cache_state(&mut self, state: &SdwCacheState) {
+        self.cache.restore_state(state);
+        self.tlb.clear_preserving_stats();
     }
 
     /// Fast-path probe: one cached lookup standing in for SDW fetch,

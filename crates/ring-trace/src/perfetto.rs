@@ -1,0 +1,180 @@
+//! Chrome trace-event / Perfetto JSON export of a span stream.
+//!
+//! The exported document is the [Trace Event Format] JSON-object form
+//! (`{"traceEvents": [...]}`), loadable in `ui.perfetto.dev` and
+//! `chrome://tracing`. Each protection ring is one track (`tid` = ring
+//! number, with a `thread_name` metadata record), spans become `B`/`E`
+//! duration events, and faults/violations become thread-scoped `i`
+//! instant events. Timestamps are simulated cycles reported in the
+//! format's microsecond field — a cycle reads as a microsecond in the
+//! UI, which only rescales the axis.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::escape;
+use crate::span::{SpanEvent, SpanKind};
+
+/// The `pid` every track shares (one machine = one "process").
+const PID: u32 = 1;
+
+/// Renders a span stream as a Chrome trace-event JSON document.
+///
+/// `final_cycles` closes any span still open when the run ended (its
+/// `E` record is emitted at that timestamp so the UI shows a complete
+/// slice). Unmatched `Close` events are skipped — the stream they close
+/// never opened, so there is nothing to draw.
+pub fn chrome_trace_json(events: &[SpanEvent], final_cycles: u64) -> String {
+    let mut records: Vec<String> = Vec::new();
+    // Track metadata: name each ring's track and pin the sort order so
+    // ring 0 is the top row.
+    let mut rings_seen: Vec<u8> = Vec::new();
+    let note_ring = |records: &mut Vec<String>, rings_seen: &mut Vec<u8>, ring: u8| {
+        if !rings_seen.contains(&ring) {
+            rings_seen.push(ring);
+            records.push(format!(
+                "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {PID}, \"tid\": {ring}, \
+                 \"args\": {{\"name\": \"ring {ring}\"}}}}"
+            ));
+            records.push(format!(
+                "{{\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": {PID}, \
+                 \"tid\": {ring}, \"args\": {{\"sort_index\": {ring}}}}}"
+            ));
+        }
+    };
+    // Replay the stack so each `E` lands on the track its `B` used.
+    let mut stack: Vec<(u8, SpanKind)> = Vec::new();
+    for ev in events {
+        match ev {
+            SpanEvent::Open {
+                kind,
+                key,
+                from_ring,
+                cycles,
+            } => {
+                note_ring(&mut records, &mut rings_seen, key.ring);
+                let name = match kind {
+                    SpanKind::Call => format!("seg {}|{}", key.segno, key.entry),
+                    SpanKind::Trap => format!("trap {}|v{}", key.segno, key.entry),
+                };
+                records.push(format!(
+                    "{{\"ph\": \"B\", \"name\": \"{}\", \"cat\": \"{kind}\", \"pid\": {PID}, \
+                     \"tid\": {}, \"ts\": {cycles}, \"args\": {{\"from_ring\": {from_ring}}}}}",
+                    escape(&name),
+                    key.ring,
+                ));
+                stack.push((key.ring, *kind));
+            }
+            SpanEvent::Close { cycles, to_ring } => {
+                if let Some((tid, _)) = stack.pop() {
+                    records.push(format!(
+                        "{{\"ph\": \"E\", \"pid\": {PID}, \"tid\": {tid}, \"ts\": {cycles}, \
+                         \"args\": {{\"to_ring\": {to_ring}}}}}"
+                    ));
+                }
+            }
+            SpanEvent::Instant {
+                kind,
+                name,
+                ring,
+                cycles,
+            } => {
+                note_ring(&mut records, &mut rings_seen, *ring);
+                records.push(format!(
+                    "{{\"ph\": \"i\", \"s\": \"t\", \"name\": \"{}\", \"cat\": \"{}\", \
+                     \"pid\": {PID}, \"tid\": {ring}, \"ts\": {cycles}}}",
+                    escape(name),
+                    kind.category(),
+                ));
+            }
+        }
+    }
+    // Close out spans that were still open at the end of the run,
+    // innermost first.
+    while let Some((tid, _)) = stack.pop() {
+        records.push(format!(
+            "{{\"ph\": \"E\", \"pid\": {PID}, \"tid\": {tid}, \"ts\": {final_cycles}}}"
+        ));
+    }
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(r);
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"clock\": \"simulated cycles\"}}\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::span::{InstantKind, SpanKey, SpanRecorder};
+
+    #[test]
+    fn export_is_valid_chrome_trace_json() {
+        let mut r = SpanRecorder::new();
+        r.enable();
+        r.open(
+            SpanKind::Call,
+            SpanKey {
+                ring: 1,
+                segno: 20,
+                entry: 0,
+            },
+            4,
+            10,
+        );
+        r.instant(InstantKind::Fault, 1, 15, || "page fault 20|3".to_string());
+        r.close(4, 40);
+        r.open(
+            SpanKind::Trap,
+            SpanKey {
+                ring: 0,
+                segno: 1,
+                entry: 7,
+            },
+            4,
+            50,
+        );
+        // Left open: must be closed at final_cycles.
+        let doc = chrome_trace_json(r.events(), 99);
+        let v = json::parse(&doc).expect("export parses as JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // Every record has a phase; B/E pair up per tid.
+        let mut depth_per_tid = std::collections::HashMap::new();
+        for ev in events {
+            let ph = ev.get("ph").unwrap().as_str().unwrap();
+            let tid = ev.get("tid").unwrap().as_u64().unwrap();
+            match ph {
+                "B" => *depth_per_tid.entry(tid).or_insert(0i64) += 1,
+                "E" => *depth_per_tid.entry(tid).or_insert(0i64) -= 1,
+                "i" | "M" => {}
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert!(depth_per_tid.values().all(|&d| d == 0), "unbalanced B/E");
+        // The dangling trap span closes at the final cycle count.
+        let last = events.last().unwrap();
+        assert_eq!(last.get("ph").unwrap().as_str(), Some("E"));
+        assert_eq!(last.get("ts").unwrap().as_u64(), Some(99));
+    }
+
+    #[test]
+    fn unmatched_close_is_skipped() {
+        let doc = chrome_trace_json(
+            &[SpanEvent::Close {
+                to_ring: 4,
+                cycles: 5,
+            }],
+            10,
+        );
+        let v = json::parse(&doc).unwrap();
+        assert!(v.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+    }
+}

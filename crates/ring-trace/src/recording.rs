@@ -1,0 +1,320 @@
+//! The deterministic record/replay container.
+//!
+//! A recording is everything needed to reproduce a run bit-for-bit:
+//! the complete initial machine image, every nondeterministic input
+//! that reached the machine (in this simulator, I/O completions — kept
+//! so replay can *verify* them and so future device models with real
+//! nondeterminism slot in), periodic checkpoints for reverse-step, and
+//! the final image for end-to-end verification.
+//!
+//! Machine images are opaque to this crate: `ring-cpu` encodes the full
+//! architectural state (registers, memory, I/O, SDW cache, cycle and
+//! fault state) as a flat `Vec<u64>` and decodes it on restore. In the
+//! JSON serialization images travel as comma-separated hex strings, so
+//! every bit of a 64-bit word survives the trip (JSON numbers would
+//! round past 2^53).
+//!
+//! The file format is a single JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "ring-trace/recording/v1",
+//!   "program": "examples/asm/fibonacci.rasm",
+//!   "checkpoint_every": 50000,
+//!   "initial": "<hex words>",
+//!   "checkpoints": [{"instructions": 1200, "cycles": 50007, "image": "..."}],
+//!   "io_events": [{"instructions": 90, "cycles": 3120, "channel": 0}],
+//!   "final_instructions": 4810,
+//!   "final_cycles": 191220,
+//!   "final_image": "<hex words>"
+//! }
+//! ```
+
+use crate::json::{self, escape, Json};
+
+/// Schema identifier written into every recording file.
+pub const RECORDING_SCHEMA: &str = "ring-trace/recording/v1";
+
+/// A full machine image captured mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Instructions retired when the checkpoint was taken.
+    pub instructions: u64,
+    /// Simulated cycles when the checkpoint was taken.
+    pub cycles: u64,
+    /// The encoded machine image (opaque; see `ring-cpu`).
+    pub image: Vec<u64>,
+}
+
+/// One nondeterministic input: an I/O completion trap delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoEvent {
+    /// Instructions retired when the completion was delivered.
+    pub instructions: u64,
+    /// Simulated cycles when the completion was delivered.
+    pub cycles: u64,
+    /// The channel that completed.
+    pub channel: u8,
+}
+
+/// A complete recorded run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Recording {
+    /// Label for the recorded program (source path or workload name).
+    pub program: String,
+    /// Checkpoint interval in simulated cycles (0 = only endpoints).
+    pub checkpoint_every: u64,
+    /// The machine image before the first instruction.
+    pub initial: Vec<u64>,
+    /// Periodic checkpoints, in instruction order.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Every I/O completion delivered during the run.
+    pub io_events: Vec<IoEvent>,
+    /// Instructions retired at the end of the run.
+    pub final_instructions: u64,
+    /// Simulated cycles at the end of the run.
+    pub final_cycles: u64,
+    /// The machine image after the last instruction.
+    pub final_image: Vec<u64>,
+}
+
+/// Encodes image words as comma-separated hex (lossless for u64).
+fn words_to_hex(words: &[u64]) -> String {
+    let mut out = String::with_capacity(words.len() * 4);
+    for (i, w) in words.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{w:x}"));
+    }
+    out
+}
+
+/// Decodes a comma-separated hex word string.
+fn hex_to_words(text: &str) -> Result<Vec<u64>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|t| u64::from_str_radix(t, 16).map_err(|e| format!("bad image word `{t}`: {e}")))
+        .collect()
+}
+
+impl Recording {
+    /// Serializes the recording as its JSON file format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{RECORDING_SCHEMA}\",\n"));
+        out.push_str(&format!("  \"program\": \"{}\",\n", escape(&self.program)));
+        out.push_str(&format!(
+            "  \"checkpoint_every\": {},\n",
+            self.checkpoint_every
+        ));
+        out.push_str(&format!(
+            "  \"initial\": \"{}\",\n",
+            words_to_hex(&self.initial)
+        ));
+        out.push_str("  \"checkpoints\": [\n");
+        for (i, c) in self.checkpoints.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"instructions\": {}, \"cycles\": {}, \"image\": \"{}\"}}{}\n",
+                c.instructions,
+                c.cycles,
+                words_to_hex(&c.image),
+                if i + 1 < self.checkpoints.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"io_events\": [\n");
+        for (i, e) in self.io_events.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"instructions\": {}, \"cycles\": {}, \"channel\": {}}}{}\n",
+                e.instructions,
+                e.cycles,
+                e.channel,
+                if i + 1 < self.io_events.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"final_instructions\": {},\n",
+            self.final_instructions
+        ));
+        out.push_str(&format!("  \"final_cycles\": {},\n", self.final_cycles));
+        out.push_str(&format!(
+            "  \"final_image\": \"{}\"\n",
+            words_to_hex(&self.final_image)
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a recording from its JSON file format.
+    pub fn from_json(text: &str) -> Result<Recording, String> {
+        let v = json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema")?;
+        if schema != RECORDING_SCHEMA {
+            return Err(format!(
+                "unsupported recording schema `{schema}` (want `{RECORDING_SCHEMA}`)"
+            ));
+        }
+        let field_u64 = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or bad `{name}`"))
+        };
+        let field_words = |name: &str| -> Result<Vec<u64>, String> {
+            hex_to_words(
+                v.get(name)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("missing `{name}`"))?,
+            )
+        };
+        let mut checkpoints = Vec::new();
+        for c in v
+            .get("checkpoints")
+            .and_then(Json::as_arr)
+            .ok_or("missing checkpoints")?
+        {
+            checkpoints.push(Checkpoint {
+                instructions: c
+                    .get("instructions")
+                    .and_then(Json::as_u64)
+                    .ok_or("bad checkpoint")?,
+                cycles: c
+                    .get("cycles")
+                    .and_then(Json::as_u64)
+                    .ok_or("bad checkpoint")?,
+                image: hex_to_words(
+                    c.get("image")
+                        .and_then(Json::as_str)
+                        .ok_or("bad checkpoint")?,
+                )?,
+            });
+        }
+        let mut io_events = Vec::new();
+        for e in v
+            .get("io_events")
+            .and_then(Json::as_arr)
+            .ok_or("missing io_events")?
+        {
+            io_events.push(IoEvent {
+                instructions: e
+                    .get("instructions")
+                    .and_then(Json::as_u64)
+                    .ok_or("bad io event")?,
+                cycles: e
+                    .get("cycles")
+                    .and_then(Json::as_u64)
+                    .ok_or("bad io event")?,
+                channel: e
+                    .get("channel")
+                    .and_then(Json::as_u64)
+                    .ok_or("bad io event")? as u8,
+            });
+        }
+        Ok(Recording {
+            program: v
+                .get("program")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            checkpoint_every: field_u64("checkpoint_every")?,
+            initial: field_words("initial")?,
+            checkpoints,
+            io_events,
+            final_instructions: field_u64("final_instructions")?,
+            final_cycles: field_u64("final_cycles")?,
+            final_image: field_words("final_image")?,
+        })
+    }
+
+    /// The best checkpoint image to restore for reverse-stepping to
+    /// `target` instructions: the latest checkpoint at or before it,
+    /// falling back to the initial image (instruction 0).
+    pub fn nearest_checkpoint(&self, target: u64) -> (u64, &[u64]) {
+        let mut best: (u64, &[u64]) = (0, &self.initial);
+        for c in &self.checkpoints {
+            if c.instructions <= target && c.instructions >= best.0 {
+                best = (c.instructions, &c.image);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let rec = Recording {
+            program: "examples/asm/\"odd\".rasm".to_string(),
+            checkpoint_every: 5000,
+            initial: vec![0, u64::MAX, 0o777_777_777_777, 42],
+            checkpoints: vec![Checkpoint {
+                instructions: 120,
+                cycles: 5003,
+                image: vec![1, 2, 3],
+            }],
+            io_events: vec![IoEvent {
+                instructions: 90,
+                cycles: 3120,
+                channel: 3,
+            }],
+            final_instructions: 480,
+            final_cycles: 19122,
+            final_image: vec![9, 8, 7],
+        };
+        let text = rec.to_json();
+        let back = Recording::from_json(&text).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let rec = Recording {
+            program: "p".into(),
+            ..Recording::default()
+        };
+        let text = rec.to_json().replace(RECORDING_SCHEMA, "other/v9");
+        assert!(Recording::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn nearest_checkpoint_picks_latest_at_or_before() {
+        let rec = Recording {
+            initial: vec![0],
+            checkpoints: vec![
+                Checkpoint {
+                    instructions: 100,
+                    cycles: 1,
+                    image: vec![100],
+                },
+                Checkpoint {
+                    instructions: 200,
+                    cycles: 2,
+                    image: vec![200],
+                },
+            ],
+            ..Recording::default()
+        };
+        assert_eq!(rec.nearest_checkpoint(50).0, 0);
+        assert_eq!(rec.nearest_checkpoint(100).0, 100);
+        assert_eq!(rec.nearest_checkpoint(150).1, &[100]);
+        assert_eq!(rec.nearest_checkpoint(999).0, 200);
+    }
+}

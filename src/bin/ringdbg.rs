@@ -1,27 +1,41 @@
 //! `ringdbg` — an interactive monitor for the ring-protection
-//! simulator (a front panel with a disassembler).
+//! simulator (a front panel with a disassembler and a flight
+//! recorder).
 //!
 //! ```text
-//! ringdbg <file.rasm> [--ring N]
+//! ringdbg <file.rasm> [--ring N] [--no-fastpath]
 //! ```
 //!
 //! Commands (also `help` at the prompt):
 //!
 //! ```text
-//! s [n]        step n instructions (default 1), printing each
-//! r            print registers
-//! g [n]        run up to n instructions (default 100000)
-//! d <w> [n]    disassemble n words of the code segment at word w
+//! s [n]          step n instructions (default 1), printing each
+//! r              print registers
+//! g [n]          run up to n instructions (default 100000)
+//! rs [n]         reverse-step n instructions (default 1)
+//! d <w> [n]      disassemble n words of the code segment at word w
 //! m <s> <w> [n]  dump n words of segment s at word w
-//! b <w>        toggle a breakpoint at code word w
-//! stats        metrics snapshot: crossings, faults, SDW cache
-//! trace [--json]  drain the execution trace (JSON lines with --json)
-//! q            quit
+//! b [<seg>] <w>  toggle a breakpoint (code segment when seg omitted)
+//! w <seg> <w>    toggle a data watchpoint (break when the word changes)
+//! seg <s>        print segment s's descriptor
+//! stats          metrics snapshot: crossings, faults, SDW cache
+//! spans          per-gate cycle attribution from the span recorder
+//! trace [--json] drain the execution trace (JSON lines with --json)
+//! record <file>  write the flight recording to <file> on stop/quit
+//! record stop    write the flight recording now
+//! replay <file>  re-run a recording and verify it bit-for-bit
+//! q              quit
 //! ```
 //!
-//! Execution tracing and the metrics recorder are always on in the
-//! debugger; `trace` drains the drop-oldest ring buffer (sequence
-//! numbers show how many earlier events were discarded).
+//! Execution tracing, the metrics recorder, the span recorder, and the
+//! deterministic flight recorder are always on in the debugger. `trace`
+//! drains the drop-oldest ring buffer (sequence numbers show how many
+//! earlier events were discarded; with `--json` a `{"dropped": n}`
+//! header record is emitted first whenever events were lost). `rs`
+//! works by restoring the nearest flight-recorder checkpoint at or
+//! before the target instruction and re-executing forward — the
+//! simulator is deterministic, so the machine lands exactly where it
+//! was.
 
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
@@ -33,8 +47,9 @@ use multiring::core::sdw::SdwBuilder;
 use multiring::cpu::machine::StepOutcome;
 use multiring::cpu::native::NativeAction;
 use multiring::cpu::testkit::World;
-use multiring::cpu::TraceEvent;
+use multiring::cpu::{seek, Recorder, TraceEvent, DEFAULT_CHECKPOINT_EVERY};
 use multiring::metrics::json_escape;
+use multiring::trace::Recording;
 
 const CODE_SEG: u32 = 10;
 
@@ -117,6 +132,84 @@ fn print_instr_at(w: &World) {
     }
 }
 
+/// The always-on flight recorder behind `record`/`replay`/`rs`.
+struct Flight {
+    rec: Recorder,
+    /// Where `record stop`/quit writes the recording, once `record
+    /// <file>` names a destination.
+    path: Option<String>,
+    /// Cycle high-water mark of recorded execution. Re-execution after
+    /// a reverse-step walks through already-recorded territory; only
+    /// steps beyond this mark feed the recorder, so checkpoints and
+    /// I/O events are never duplicated.
+    hw_cycles: u64,
+}
+
+impl Flight {
+    fn start(world: &World) -> Flight {
+        Flight {
+            rec: Recorder::start(&world.machine, "ringdbg", DEFAULT_CHECKPOINT_EVERY),
+            path: None,
+            hw_cycles: world.machine.cycles(),
+        }
+    }
+
+    fn note_step(&mut self, world: &World, outcome: &StepOutcome) {
+        if world.machine.cycles() > self.hw_cycles {
+            self.rec.after_step(&world.machine, outcome);
+            self.hw_cycles = world.machine.cycles();
+        }
+    }
+
+    fn write_if_named(&self, world: &World) {
+        if let Some(path) = &self.path {
+            let recording = self.rec.snapshot(&world.machine);
+            match std::fs::write(path, recording.to_json()) {
+                Ok(()) => println!(
+                    "  wrote recording ({} checkpoints, {} I/O completions) to {path}",
+                    recording.checkpoints.len(),
+                    recording.io_events.len()
+                ),
+                Err(e) => println!("  cannot write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// A data watchpoint: break when `segno|wordno` changes value.
+struct Watchpoint {
+    segno: u32,
+    wordno: u32,
+    last: u64,
+}
+
+/// Checks every watchpoint against current memory; reports and
+/// rebaselines the first that changed.
+fn watch_hit(world: &World, watchpoints: &mut [Watchpoint]) -> bool {
+    for wp in watchpoints.iter_mut() {
+        let seg = SegNo::new(wp.segno).expect("validated on creation");
+        let now = world.peek(seg, wp.wordno).raw();
+        if now != wp.last {
+            println!(
+                "  watchpoint {}|{}: {:o} -> {:o}",
+                wp.segno, wp.wordno, wp.last, now
+            );
+            wp.last = now;
+            return true;
+        }
+    }
+    false
+}
+
+/// Re-reads every watchpoint's baseline (after a reverse-step or
+/// replay repositions the machine).
+fn rebaseline(world: &World, watchpoints: &mut [Watchpoint]) {
+    for wp in watchpoints.iter_mut() {
+        let seg = SegNo::new(wp.segno).expect("validated on creation");
+        wp.last = world.peek(seg, wp.wordno).raw();
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(file) = args.next() else {
@@ -187,13 +280,16 @@ fn main() -> ExitCode {
     world.start(ring, code, 0);
     world.machine.enable_trace(4096);
     world.machine.enable_metrics();
+    world.machine.enable_spans();
+    let mut flight = Flight::start(&world);
     println!(
         "loaded {} words into segment {CODE_SEG}; ring {ring}",
         image.len()
     );
     print_instr_at(&world);
 
-    let mut breakpoints: Vec<u32> = Vec::new();
+    let mut breakpoints: Vec<(u32, u32)> = Vec::new();
+    let mut watchpoints: Vec<Watchpoint> = Vec::new();
     let stdin = std::io::stdin();
     loop {
         print!("ringdbg> ");
@@ -207,15 +303,20 @@ fn main() -> ExitCode {
             [] => {}
             ["q"] | ["quit"] => break,
             ["help"] | ["h"] => {
-                println!("s [n] step | r regs | g [n] run | d <w> [n] disasm");
-                println!("m <s> <w> [n] memory | seg <s> descriptor | b <w> breakpoint | q quit");
-                println!("stats metrics snapshot | trace [--json] drain execution trace");
+                println!("s [n] step | r regs | g [n] run | rs [n] reverse-step");
+                println!("d <w> [n] disasm | m <s> <w> [n] memory | seg <s> descriptor");
+                println!("b [<seg>] <w> breakpoint | w <seg> <w> data watchpoint | q quit");
+                println!("stats metrics snapshot | spans per-gate cycle attribution");
+                println!("trace [--json] drain execution trace");
+                println!("record <file>|stop flight recording | replay <file> verify a recording");
             }
             ["r"] => print_regs(&world),
             ["s", rest @ ..] => {
                 let n: u64 = rest.first().and_then(|v| v.parse().ok()).unwrap_or(1);
                 for _ in 0..n {
-                    match world.machine.step() {
+                    let outcome = world.machine.step();
+                    flight.note_step(&world, &outcome);
+                    match outcome {
                         StepOutcome::Ran => {}
                         StepOutcome::Trapped(f) => println!("  trapped: {f}"),
                         StepOutcome::Halted => {
@@ -224,6 +325,9 @@ fn main() -> ExitCode {
                         }
                     }
                     print_instr_at(&world);
+                    if watch_hit(&world, &mut watchpoints) {
+                        break;
+                    }
                 }
             }
             ["g", rest @ ..] => {
@@ -231,19 +335,45 @@ fn main() -> ExitCode {
                 let mut ran = 0;
                 for _ in 0..n {
                     let at = world.machine.ipr().addr;
-                    if at.segno.value() == CODE_SEG && breakpoints.contains(&at.wordno.value()) {
+                    if breakpoints.contains(&(at.segno.value(), at.wordno.value())) {
                         println!("  breakpoint at {at}");
                         break;
                     }
-                    match world.machine.step() {
+                    let outcome = world.machine.step();
+                    flight.note_step(&world, &outcome);
+                    match outcome {
                         StepOutcome::Ran | StepOutcome::Trapped(_) => ran += 1,
                         StepOutcome::Halted => {
                             println!("  halted after {ran} instructions");
                             break;
                         }
                     }
+                    if watch_hit(&world, &mut watchpoints) {
+                        break;
+                    }
                 }
                 print_instr_at(&world);
+            }
+            ["rs", rest @ ..] => {
+                let n: u64 = rest.first().and_then(|v| v.parse().ok()).unwrap_or(1);
+                let cur = world.machine.stats().instructions;
+                if cur == 0 {
+                    println!("  already at the beginning");
+                    continue;
+                }
+                let target = cur.saturating_sub(n);
+                match seek(&mut world.machine, flight.rec.recording(), target) {
+                    Ok(()) => {
+                        rebaseline(&world, &mut watchpoints);
+                        println!(
+                            "  reverse-stepped to instruction {} (cycles={})",
+                            world.machine.stats().instructions,
+                            world.machine.cycles()
+                        );
+                        print_instr_at(&world);
+                    }
+                    Err(e) => println!("  reverse-step failed: {e}"),
+                }
             }
             ["d", at, rest @ ..] => {
                 let at: u32 = at.parse().unwrap_or(0);
@@ -324,16 +454,37 @@ fn main() -> ExitCode {
                     );
                 }
             }
+            ["spans"] => {
+                let m = &world.machine;
+                let tree = multiring::trace::build_tree(m.spans().events(), m.cycles());
+                let table = multiring::trace::gate_table(&tree);
+                if table.is_empty() {
+                    println!("  (no cross-ring spans yet — run a gate call first)");
+                }
+                for g in &table {
+                    println!(
+                        "  {} {:>4} {:>5} calls  {:>8} total cycles  {:>8} self",
+                        g.kind, g.key, g.calls, g.total_cycles, g.self_cycles
+                    );
+                }
+                if tree.unmatched_closes > 0 {
+                    println!("  ({} unmatched closes)", tree.unmatched_closes);
+                }
+            }
             ["trace", rest @ ..] => {
                 let dropped = world.machine.trace_dropped();
                 let events = world.machine.take_trace_seq();
+                let as_json = rest.first() == Some(&"--json");
                 if dropped > 0 {
-                    println!("  ({dropped} earlier events dropped by the ring buffer)");
+                    if as_json {
+                        println!("{{\"dropped\": {dropped}}}");
+                    } else {
+                        println!("  ({dropped} earlier events dropped by the ring buffer)");
+                    }
                 }
-                if events.is_empty() {
+                if events.is_empty() && !as_json {
                     println!("  (trace empty — step or run first)");
                 }
-                let as_json = rest.first() == Some(&"--json");
                 for (seq, ev) in &events {
                     if as_json {
                         println!("{}", trace_event_json(*seq, ev));
@@ -342,18 +493,99 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            ["record", "stop"] => {
+                if flight.path.is_some() {
+                    flight.write_if_named(&world);
+                    flight.path = None;
+                } else {
+                    println!("  not recording to a file (use record <file> first)");
+                }
+            }
+            ["record", path] => {
+                flight.path = Some((*path).to_string());
+                println!("  recording to {path} (written on `record stop` or quit)");
+            }
+            ["replay", path] => {
+                let recording = match std::fs::read_to_string(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| Recording::from_json(&t))
+                {
+                    Ok(r) => r,
+                    Err(e) => {
+                        println!("  cannot load {path}: {e}");
+                        continue;
+                    }
+                };
+                match multiring::cpu::replay(&mut world.machine, &recording) {
+                    Ok(report) if report.ok => println!(
+                        "  replay OK: {} instructions, {} cycles, bit-identical final image",
+                        report.instructions, report.cycles
+                    ),
+                    Ok(report) => println!(
+                        "  replay DIVERGED: {}",
+                        report.mismatch.as_deref().unwrap_or("unknown")
+                    ),
+                    Err(e) => println!("  replay failed: {e}"),
+                }
+                // The machine now sits at the recording's end; restart
+                // the flight recorder so `rs` is relative to it.
+                flight = Flight::start(&world);
+                rebaseline(&world, &mut watchpoints);
+                print_instr_at(&world);
+            }
             ["b", at] => {
                 let at: u32 = at.parse().unwrap_or(0);
-                if let Some(pos) = breakpoints.iter().position(|&b| b == at) {
-                    breakpoints.remove(pos);
-                    println!("  cleared breakpoint at {at}");
+                toggle_breakpoint(&mut breakpoints, CODE_SEG, at);
+            }
+            ["b", seg, at] => {
+                let (Ok(seg), Ok(at)) = (seg.parse::<u32>(), at.parse::<u32>()) else {
+                    println!("  b [<seg>] <wordno>");
+                    continue;
+                };
+                if SegNo::new(seg).is_none() {
+                    println!("  bad segment number");
+                    continue;
+                }
+                toggle_breakpoint(&mut breakpoints, seg, at);
+            }
+            ["w", seg, at] => {
+                let (Ok(seg), Ok(at)) = (seg.parse::<u32>(), at.parse::<u32>()) else {
+                    println!("  w <segno> <wordno>");
+                    continue;
+                };
+                let Some(segno) = SegNo::new(seg) else {
+                    println!("  bad segment number");
+                    continue;
+                };
+                if let Some(pos) = watchpoints
+                    .iter()
+                    .position(|wp| wp.segno == seg && wp.wordno == at)
+                {
+                    watchpoints.remove(pos);
+                    println!("  cleared watchpoint at {seg}|{at}");
                 } else {
-                    breakpoints.push(at);
-                    println!("  set breakpoint at {at}");
+                    let last = world.peek(segno, at).raw();
+                    watchpoints.push(Watchpoint {
+                        segno: seg,
+                        wordno: at,
+                        last,
+                    });
+                    println!("  set watchpoint at {seg}|{at} (current value {last:o})");
                 }
             }
             other => println!("  unknown command {other:?} (try help)"),
         }
     }
+    flight.write_if_named(&world);
     ExitCode::SUCCESS
+}
+
+fn toggle_breakpoint(breakpoints: &mut Vec<(u32, u32)>, seg: u32, at: u32) {
+    if let Some(pos) = breakpoints.iter().position(|&b| b == (seg, at)) {
+        breakpoints.remove(pos);
+        println!("  cleared breakpoint at {seg}|{at}");
+    } else {
+        breakpoints.push((seg, at));
+        println!("  set breakpoint at {seg}|{at}");
+    }
 }

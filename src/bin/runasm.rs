@@ -4,6 +4,8 @@
 //! ```text
 //! runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm]
 //!                    [--no-fastpath] [--metrics-out <file.json|file.csv>]
+//!                    [--trace-out <file.json>] [--record <file>]
+//!                    [--replay <file>] [--checkpoint-every N]
 //! ```
 //!
 //! The program is loaded into segment 10 of a bare world (standard
@@ -15,6 +17,20 @@
 //! counters, fault accounting, cycle histograms, the per-segment
 //! heatmap and SDW-cache statistics — to the named file (CSV when the
 //! name ends in `.csv`, JSON otherwise; see `docs/OBSERVABILITY.md`).
+//!
+//! Flight-recorder options (see the "Spans and replay" section of
+//! `docs/OBSERVABILITY.md`):
+//!
+//! * `--trace-out <file.json>` — record ring-crossing spans and export
+//!   them as a Chrome trace-event / Perfetto JSON document (one track
+//!   per ring, instant events for faults), loadable in
+//!   `ui.perfetto.dev`.
+//! * `--record <file>` — record the run deterministically (initial
+//!   machine image, periodic checkpoints, every I/O completion) into a
+//!   recording file.
+//! * `--replay <file>` — re-run a recording in a world rebuilt from the
+//!   same program and verify it bit-for-bit (final registers, memory,
+//!   cycles, I/O timeline). Exits nonzero on divergence.
 
 use std::process::ExitCode;
 
@@ -23,6 +39,8 @@ use multiring::core::ring::Ring;
 use multiring::core::sdw::SdwBuilder;
 use multiring::cpu::native::NativeAction;
 use multiring::cpu::testkit::World;
+use multiring::cpu::Recorder;
+use multiring::trace::Recording;
 
 struct Options {
     file: String,
@@ -32,6 +50,10 @@ struct Options {
     disasm: bool,
     fastpath: bool,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
+    record: Option<String>,
+    replay: Option<String>,
+    checkpoint_every: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -44,6 +66,10 @@ fn parse_args() -> Result<Options, String> {
         disasm: false,
         fastpath: true,
         metrics_out: None,
+        trace_out: None,
+        record: None,
+        replay: None,
+        checkpoint_every: multiring::cpu::DEFAULT_CHECKPOINT_EVERY,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -66,10 +92,26 @@ fn parse_args() -> Result<Options, String> {
             "--metrics-out" => {
                 opts.metrics_out = Some(args.next().ok_or("--metrics-out takes a file name")?);
             }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().ok_or("--trace-out takes a file name")?);
+            }
+            "--record" => {
+                opts.record = Some(args.next().ok_or("--record takes a file name")?);
+            }
+            "--replay" => {
+                opts.replay = Some(args.next().ok_or("--replay takes a file name")?);
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--checkpoint-every takes a cycle count")?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm] \
-                     [--no-fastpath] [--metrics-out <file>]"
+                     [--no-fastpath] [--metrics-out <file>] [--trace-out <file.json>] \
+                     [--record <file>] [--replay <file>] [--checkpoint-every N]"
                         .to_string(),
                 )
             }
@@ -79,6 +121,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.file.is_empty() {
         return Err("no input file (try --help)".to_string());
+    }
+    if opts.record.is_some() && opts.replay.is_some() {
+        return Err("--record and --replay are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -142,8 +187,69 @@ fn main() -> ExitCode {
     if opts.metrics_out.is_some() {
         world.machine.enable_metrics();
     }
+    if opts.trace_out.is_some() {
+        world.machine.enable_spans();
+    }
     world.start(ring, code, 0);
-    let exit = world.machine.run(opts.budget);
+
+    // Replay mode: ignore the freshly initialised machine state and
+    // re-run the recording in this identically built world.
+    if let Some(path) = &opts.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let recording = match Recording::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = match multiring::cpu::replay(&mut world.machine, &recording) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        finish(&world, &opts);
+        return if report.ok {
+            println!(
+                "replay OK: {} instructions, {} cycles, bit-identical final image",
+                report.instructions, report.cycles
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "replay DIVERGED: {}",
+                report.mismatch.as_deref().unwrap_or("unknown")
+            );
+            ExitCode::FAILURE
+        };
+    }
+
+    let exit = if opts.record.is_some() {
+        let mut rec = Recorder::start(&world.machine, &opts.file, opts.checkpoint_every);
+        let exit = multiring::cpu::run_recorded(&mut world.machine, opts.budget, &mut rec);
+        let recording = rec.finish(&world.machine);
+        let path = opts.record.as_deref().expect("checked");
+        if let Err(e) = std::fs::write(path, recording.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "recorded: {} checkpoints, {} I/O completions -> {path}",
+            recording.checkpoints.len(),
+            recording.io_events.len()
+        );
+        exit
+    } else {
+        world.machine.run(opts.budget)
+    };
 
     if opts.trace {
         for ev in world.machine.take_trace() {
@@ -159,6 +265,13 @@ fn main() -> ExitCode {
         m.cycles(),
         m.stats().instructions
     );
+    finish(&world, &opts);
+    ExitCode::SUCCESS
+}
+
+/// Writes the post-run artifacts (metrics snapshot, Perfetto trace).
+fn finish(world: &World, opts: &Options) {
+    let m = &world.machine;
     if let Some(path) = &opts.metrics_out {
         let snap = m.metrics_snapshot();
         let body = if path.ends_with(".csv") {
@@ -168,7 +281,7 @@ fn main() -> ExitCode {
         };
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            std::process::exit(1);
         }
         println!(
             "metrics: {} crossings ({} ring changes), {} faults, sdw cache {:.0}% hit -> {path}",
@@ -178,5 +291,17 @@ fn main() -> ExitCode {
             100.0 * snap.sdw_cache.hit_ratio()
         );
     }
-    ExitCode::SUCCESS
+    if let Some(path) = &opts.trace_out {
+        let doc = multiring::trace::perfetto::chrome_trace_json(m.spans().events(), m.cycles());
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        let tree = multiring::trace::build_tree(m.spans().events(), m.cycles());
+        println!(
+            "trace: {} spans across {} gates -> {path} (load in ui.perfetto.dev)",
+            tree.spans.len(),
+            multiring::trace::gate_table(&tree).len()
+        );
+    }
 }

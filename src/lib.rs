@@ -22,6 +22,10 @@
 //! * [`metrics`] (`ring-metrics`) — the observability layer: ring-
 //!   crossing telemetry, fault accounting, cycle histograms, per-segment
 //!   heatmaps, and JSON/CSV export (see `docs/OBSERVABILITY.md`).
+//! * [`trace`] (`ring-trace`) — the flight recorder: span-based
+//!   ring-crossing traces with per-gate cycle attribution, Chrome
+//!   trace-event / Perfetto export, and deterministic record/replay
+//!   containers.
 //!
 //! # Quickstart
 //!
@@ -49,3 +53,4 @@ pub use ring_cpu as cpu;
 pub use ring_metrics as metrics;
 pub use ring_os as os;
 pub use ring_segmem as segmem;
+pub use ring_trace as trace;

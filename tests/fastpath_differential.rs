@@ -296,6 +296,7 @@ fn build_world(seed: u64, fastpath: bool) -> World {
     w.machine.set_pr(4, PtrReg::new(Ring::R4, addr(PAGED, 0)));
     w.machine.set_pr(5, PtrReg::new(Ring::R5, addr(TABLE, 0)));
     w.machine.enable_metrics();
+    w.machine.enable_spans();
     w.start(Ring::R4, code, 0);
     w
 }
@@ -371,6 +372,14 @@ fn run_lockstep(seed: u64, steps: usize) -> u64 {
         arch_metrics_csv(&fast.machine),
         arch_metrics_csv(&slow.machine),
         "architectural metrics diverged {at}"
+    );
+    // The span flight recorder sees only committed ring crossings, so
+    // the two engines must emit the *identical* event stream — same
+    // spans, same order, same cycle timestamps.
+    assert_eq!(
+        fast.machine.take_span_events(),
+        slow.machine.take_span_events(),
+        "span event streams diverged {at}"
     );
     for a in 0..SWEEP_WORDS {
         let aa = AbsAddr::new(a).expect("sweep address");

@@ -22,12 +22,15 @@ use rand::{Rng, SeedableRng};
 /// Builds one randomly-filled machine from `seed` (the fuzz_machine
 /// recipe): random physical memory, random DBR, random start state —
 /// every fault path gets exercised.
-fn random_machine(seed: u64, enable_metrics: bool) -> Machine {
+fn random_machine(seed: u64, enable_metrics: bool, enable_spans: bool) -> Machine {
     let mut rng = StdRng::seed_from_u64(seed);
     let words = 4 * 1024;
     let mut m = Machine::new(words, MachineConfig::default());
     if enable_metrics {
         m.enable_metrics();
+    }
+    if enable_spans {
+        m.enable_spans();
     }
     for a in 0..words as u32 {
         if rng.gen_bool(0.7) {
@@ -93,8 +96,8 @@ proptest! {
     /// bit-for-bit identical architectural state.
     #[test]
     fn metrics_never_change_architectural_state(seed in any::<u64>()) {
-        let mut plain = random_machine(seed, false);
-        let mut observed = random_machine(seed, true);
+        let mut plain = random_machine(seed, false, false);
+        let mut observed = random_machine(seed, true, false);
         for _ in 0..200 {
             let a = plain.step();
             let b = observed.step();
@@ -110,14 +113,40 @@ proptest! {
         prop_assert!(snap.enabled);
         prop_assert_eq!(snap.instructions, observed.stats().instructions);
     }
+
+    /// The span flight recorder is a pure observer too: spans on or
+    /// off, an arbitrary machine reaches bit-for-bit identical
+    /// architectural state (disabled recording is zero-cost *and*
+    /// enabled recording never perturbs execution).
+    #[test]
+    fn spans_never_change_architectural_state(seed in any::<u64>()) {
+        let mut plain = random_machine(seed, false, false);
+        let mut observed = random_machine(seed, false, true);
+        for _ in 0..200 {
+            let a = plain.step();
+            let b = observed.step();
+            prop_assert_eq!(a, b, "step outcomes diverged for seed {}", seed);
+            if a == multiring::cpu::machine::StepOutcome::Halted {
+                break;
+            }
+        }
+        assert_same_architecture(&plain, &observed, seed);
+        // Random garbage machines trap constantly, so the recorder
+        // must actually have seen crossings (the comparison above is
+        // not vacuous).
+        if observed.stats().traps > 0 {
+            prop_assert!(
+                !observed.spans().events().is_empty(),
+                "traps occurred but no span events were recorded"
+            );
+        }
+    }
 }
 
-/// A known workload measured exactly: `N` gate calls from ring 4 into a
-/// ring-1 service must record `N` hardware down-calls, `N` up-returns,
-/// the matching matrix cells, and exactly one trap (the exit derail).
-#[test]
-fn gate_calls_record_exact_crossing_counts() {
-    const CALLS: u64 = 3;
+/// Builds the known gate-call workload: `calls` gate calls from ring 4
+/// into a ring-1 native service at segment 20 entry 0, ending in an
+/// exit derail handled by a halting trap segment.
+fn gate_call_world(calls: u64) -> World {
     let mut w = World::new();
     let code = w.add_segment(
         10,
@@ -136,7 +165,7 @@ fn gate_calls_record_exact_crossing_counts() {
     w.machine
         .register_native(service, |m, _| Ok(NativeAction::Return { via: m.pr(2) }));
     let mut asm = String::new();
-    for i in 0..CALLS {
+    for i in 0..calls {
         asm.push_str(&format!(
             "        eap pr2, ret{i}\n        eap pr3, gatep,*\n        call pr3|0\nret{i}:  nop\n"
         ));
@@ -146,6 +175,17 @@ fn gate_calls_record_exact_crossing_counts() {
     for (i, word) in out.words.iter().enumerate() {
         w.poke(code, i as u32, *word);
     }
+    w
+}
+
+/// A known workload measured exactly: `N` gate calls from ring 4 into a
+/// ring-1 service must record `N` hardware down-calls, `N` up-returns,
+/// the matching matrix cells, and exactly one trap (the exit derail).
+#[test]
+fn gate_calls_record_exact_crossing_counts() {
+    const CALLS: u64 = 3;
+    let mut w = gate_call_world(CALLS);
+    let code = SegNo::new(10).unwrap();
     w.machine.enable_metrics();
     w.start(Ring::R4, code, 0);
     assert_eq!(w.machine.run(10_000), RunExit::Halted);
@@ -169,6 +209,101 @@ fn gate_calls_record_exact_crossing_counts() {
     let stats = w.machine.stats();
     assert_eq!(snap.crossing("call_down"), Some(stats.calls_downward));
     assert_eq!(snap.crossing("return_up"), Some(stats.returns_upward));
+}
+
+/// The same workload through the span recorder: `N` gate calls build
+/// exactly `N` matched call spans on the (ring 1, seg 20, entry 0)
+/// gate plus one dangling trap span for the exit derail, with sane
+/// cycle attribution, and the Perfetto export is loadable Chrome
+/// trace-format JSON.
+#[test]
+fn gate_call_spans_build_exact_tree() {
+    use multiring::trace::{build_tree, gate_table, SpanKind};
+    const CALLS: u64 = 3;
+    let mut w = gate_call_world(CALLS);
+    w.machine.enable_spans();
+    w.start(Ring::R4, SegNo::new(10).unwrap(), 0);
+    assert_eq!(w.machine.run(10_000), RunExit::Halted);
+
+    let final_cycles = w.machine.cycles();
+    let tree = build_tree(w.machine.spans().events(), final_cycles);
+    assert_eq!(tree.unmatched_closes, 0);
+    let calls: Vec<_> = tree
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Call)
+        .collect();
+    let traps: Vec<_> = tree
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Trap)
+        .collect();
+    assert_eq!(calls.len(), CALLS as usize, "one span per gate call");
+    assert_eq!(traps.len(), 1, "one trap span for the exit derail");
+    for s in &calls {
+        assert_eq!(s.key.ring, 1, "gate executes in ring 1");
+        assert_eq!(s.key.segno, 20);
+        assert_eq!(s.key.entry, 0);
+        assert_eq!(s.from_ring, 4);
+        assert_eq!(s.to_ring, Some(4), "matched RETURN back to ring 4");
+        assert_eq!(s.depth, 0, "top-level spans — no nesting here");
+        assert!(s.close_cycles.is_some());
+        assert!(s.total_cycles > 0, "a crossing costs cycles");
+        assert_eq!(s.self_cycles, s.total_cycles, "leaf span: self == total");
+    }
+    // The derail's trap span never sees a RETT (the native handler
+    // halts), so it dangles and is attributed up to the final cycle.
+    assert_eq!(traps[0].key.ring, 0, "traps force ring 0");
+    assert_eq!(traps[0].from_ring, 4);
+    assert!(traps[0].close_cycles.is_none());
+    assert_eq!(traps[0].open_cycles + traps[0].total_cycles, final_cycles);
+
+    // Aggregation: one gate row with all three calls, one trap row.
+    let table = gate_table(&tree);
+    assert_eq!(table.len(), 2);
+    assert_eq!(table.iter().map(|g| g.calls).sum::<u64>(), CALLS + 1);
+    let gate = table
+        .iter()
+        .find(|g| g.kind == SpanKind::Call)
+        .expect("gate row");
+    assert_eq!(gate.calls, CALLS);
+    assert_eq!(
+        gate.total_cycles,
+        calls.iter().map(|s| s.total_cycles).sum::<u64>()
+    );
+
+    // One fault instant rode along (the derail), and the export is
+    // valid Chrome trace-event JSON with events on ring tracks 4, 1, 0.
+    let events = w.machine.take_span_events();
+    let instants = events
+        .iter()
+        .filter(|e| matches!(e, multiring::cpu::SpanEvent::Instant { .. }))
+        .count();
+    assert_eq!(instants, 1, "exactly the derail fault instant");
+    let doc = multiring::trace::perfetto::chrome_trace_json(&events, final_cycles);
+    let parsed = multiring::trace::json::parse(&doc).expect("export parses as JSON");
+    let traces = parsed
+        .get("traceEvents")
+        .and_then(|t| t.as_arr())
+        .expect("traceEvents array");
+    assert!(!traces.is_empty());
+    let mut tids = std::collections::BTreeSet::new();
+    for ev in traces {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("ph field");
+        assert!(
+            ["B", "E", "i", "M"].contains(&ph),
+            "unexpected phase {ph:?}"
+        );
+        if ph != "M" {
+            tids.insert(ev.get("tid").and_then(|t| t.as_u64()).expect("tid"));
+            assert!(ev.get("ts").is_some(), "timestamped event");
+        }
+    }
+    assert_eq!(
+        tids.into_iter().collect::<Vec<_>>(),
+        vec![0, 1, 4],
+        "one track per ring that saw activity"
+    );
 }
 
 /// The supervisor's own counters ride along in the snapshot: a ring-1
