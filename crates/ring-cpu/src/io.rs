@@ -122,6 +122,27 @@ impl IoSystem {
         self.inflight[channel].is_some()
     }
 
+    /// The earliest completion time among in-flight transfers, if any.
+    /// The kernel's idler uses this to advance simulated time straight
+    /// to the next I/O interrupt when every process is blocked.
+    pub fn next_done_at(&self) -> Option<u64> {
+        self.inflight
+            .iter()
+            .filter_map(|op| op.as_ref().map(|o| o.done_at))
+            .min()
+    }
+
+    /// The completion time of the transfer in flight on `channel`, if
+    /// one is pending. Lets the kernel's idler wake exactly the
+    /// processes whose channel finishes by the time it advances to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel >= NUM_CHANNELS`.
+    pub fn channel_done_at(&self, channel: usize) -> Option<u64> {
+        self.inflight[channel].as_ref().map(|o| o.done_at)
+    }
+
     /// Starts a channel from the two SIO operand words at simulated
     /// time `now`. A connect to a busy channel is refused with a derail
     /// fault (code 0o77), standing in for the hardware's channel-busy

@@ -415,6 +415,13 @@ impl Machine {
         self.timer = t;
     }
 
+    /// The interval timer's remaining cycles, if it is armed. The
+    /// kernel uses this to re-arm the quantum only on machines that
+    /// run preemptively.
+    pub fn timer(&self) -> Option<u64> {
+        self.timer
+    }
+
     /// Enables execution tracing with the given capacity.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Trace::enabled(capacity);
@@ -453,6 +460,15 @@ impl Machine {
     /// Drains the recorded span events (the recorder stays enabled).
     pub fn take_span_events(&mut self) -> Vec<ring_trace::SpanEvent> {
         self.spans.take_events()
+    }
+
+    /// Notes that the supervisor dispatched process `pid` at the
+    /// current cycle count. Paints per-process scheduler tracks in the
+    /// span flight recorder; a no-op (one branch) while spans are off,
+    /// and never a change to architectural state.
+    pub fn note_sched(&mut self, pid: u32) {
+        let cycles = self.cycles;
+        self.spans.sched(pid, cycles);
     }
 
     /// Turns on metrics collection (ring crossings, faults, cycle

@@ -49,7 +49,9 @@ pub use counters::{Crossing, CrossingCounters, FaultCounters, OpClass, OpClassCo
 pub use heatmap::{SegHeat, SegmentHeatmap};
 pub use hist::CycleHistogram;
 pub use ring_buffer::EventRing;
-pub use snapshot::{json_escape, FastPathStats, HistogramSnapshot, MetricsSnapshot, SdwCacheStats};
+pub use snapshot::{
+    json_escape, FastPathStats, HistogramSnapshot, MetricsSnapshot, SchedStats, SdwCacheStats,
+};
 
 use ring_core::access::{AccessMode, Fault};
 use ring_core::ring::Ring;

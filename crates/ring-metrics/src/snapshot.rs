@@ -77,6 +77,37 @@ impl FastPathStats {
     }
 }
 
+/// Scheduler and demand-paging statistics, mirrored here so snapshot
+/// consumers need no `ring-sched` dependency. All-zero in
+/// single-process runs (the kernel without a frame budget never
+/// context-switches for paging).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Dispatches that changed the running process (DBR switches).
+    pub context_switches: u64,
+    /// Timer runouts that preempted a still-runnable process.
+    pub preemptions: u64,
+    /// Page faults filled from the segment's file image (first touch).
+    pub page_faults_minor: u64,
+    /// Page faults filled from the backing store (after an eviction).
+    pub page_faults_major: u64,
+    /// Resident pages evicted by the CLOCK hand.
+    pub evictions: u64,
+    /// Times a process blocked waiting for an I/O completion.
+    pub io_blocks: u64,
+    /// Times a process blocked waiting for a page-in.
+    pub page_blocks: u64,
+    /// Cycles the processor idled with every process blocked.
+    pub idle_cycles: u64,
+}
+
+impl SchedStats {
+    /// Total page faults, both classes.
+    pub fn page_faults(&self) -> u64 {
+        self.page_faults_minor + self.page_faults_major
+    }
+}
+
 /// A bucketed histogram flattened for export.
 #[derive(Clone, Debug, Default)]
 pub struct HistogramSnapshot {
@@ -152,6 +183,10 @@ pub struct MetricsSnapshot {
     pub sdw_cache: SdwCacheStats,
     /// Fast-path engine statistics.
     pub fastpath: FastPathStats,
+    /// Scheduler and demand-paging statistics (all-zero outside
+    /// multiprogrammed runs; assigned by the kernel after
+    /// [`MetricsSnapshot::new`], which keeps its signature stable).
+    pub sched: SchedStats,
     /// Namespaced supplementary counters (the supervisor contributes
     /// `os.*` keys: gate transits, ACL denials, per-process crossings).
     pub extra: Vec<(String, u64)>,
@@ -196,6 +231,7 @@ impl MetricsSnapshot {
             heatmap: metrics.heatmap.iter().map(|(s, h)| (s, *h)).collect(),
             sdw_cache,
             fastpath,
+            sched: SchedStats::default(),
             extra: Vec::new(),
         }
     }
@@ -320,6 +356,20 @@ impl MetricsSnapshot {
             self.fastpath.icache_misses,
         ));
 
+        out.push_str(&format!(
+            "  \"scheduler\": {{\"context_switches\": {}, \"preemptions\": {}, \
+             \"page_faults\": {{\"minor\": {}, \"major\": {}}}, \"evictions\": {}, \
+             \"blocks\": {{\"io\": {}, \"page\": {}}}, \"idle_cycles\": {}}},\n",
+            self.sched.context_switches,
+            self.sched.preemptions,
+            self.sched.page_faults_minor,
+            self.sched.page_faults_major,
+            self.sched.evictions,
+            self.sched.io_blocks,
+            self.sched.page_blocks,
+            self.sched.idle_cycles,
+        ));
+
         out.push_str("  \"extra\": {");
         out.push_str(
             &self
@@ -425,6 +475,18 @@ impl MetricsSnapshot {
             "fastpath.fast_ratio".into(),
             format!("{:.3}", self.fastpath.fast_ratio()),
         ));
+        for (key, v) in [
+            ("context_switches", self.sched.context_switches),
+            ("preemptions", self.sched.preemptions),
+            ("page_faults.minor", self.sched.page_faults_minor),
+            ("page_faults.major", self.sched.page_faults_major),
+            ("evictions", self.sched.evictions),
+            ("blocks.io", self.sched.io_blocks),
+            ("blocks.page", self.sched.page_blocks),
+            ("idle_cycles", self.sched.idle_cycles),
+        ] {
+            rows.push((format!("scheduler.{key}"), v.to_string()));
+        }
         for (k, v) in &self.extra {
             rows.push((format!("extra.{k}"), v.to_string()));
         }
@@ -542,6 +604,16 @@ mod tests {
                 icache_misses: 5,
             },
         );
+        s.sched = SchedStats {
+            context_switches: 7,
+            preemptions: 4,
+            page_faults_minor: 12,
+            page_faults_major: 3,
+            evictions: 2,
+            io_blocks: 1,
+            page_blocks: 3,
+            idle_cycles: 640,
+        };
         s.push_extra("os.gate_calls_hcs", 5);
         s
     }
@@ -568,6 +640,10 @@ mod tests {
             "\"icache\"",
             "\"os.gate_calls_hcs\": 5",
             "\"tpr_maximisations\"",
+            "\"scheduler\"",
+            "\"context_switches\": 7",
+            "\"minor\": 12",
+            "\"evictions\": 2",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
@@ -593,6 +669,8 @@ mod tests {
         assert!(csv.contains("sdw_cache.hits,90\n"));
         assert!(csv.contains("fastpath.fast_instructions,80\n"));
         assert!(csv.contains("fastpath.tlb.hits,150\n"));
+        assert!(csv.contains("scheduler.context_switches,7\n"));
+        assert!(csv.contains("scheduler.page_faults.major,3\n"));
         assert!(csv.contains("extra.os.gate_calls_hcs,5\n"));
         for line in csv.lines() {
             assert_eq!(line.matches(',').count(), 1, "bad row: {line}");

@@ -45,6 +45,13 @@ pub struct SystemConfig {
     /// Whether the machine's fast-path execution engine (translation
     /// lookaside + predecoded instruction cache) is enabled.
     pub fastpath: bool,
+    /// Physical-frame budget for demand paging. `Some(n)` caps paged
+    /// segments at `n` resident frames, with CLOCK eviction to a
+    /// simulated drum; `None` never reclaims frames (legacy).
+    pub frame_budget: Option<u32>,
+    /// Simulated cycles a drum transfer takes; a major page fault
+    /// blocks the faulting process for this long.
+    pub page_in_latency: u64,
 }
 
 impl Default for SystemConfig {
@@ -56,6 +63,8 @@ impl Default for SystemConfig {
             stack_rule: StackRule::DbrBase,
             quantum: 5_000,
             fastpath: true,
+            frame_budget: None,
+            page_in_latency: 1_000,
         }
     }
 }
@@ -142,6 +151,8 @@ impl System {
 
         let mut os = OsState::new();
         os.quantum = cfg.quantum;
+        os.frames = cfg.frame_budget.map(ring_segmem::FramePool::new);
+        os.page_in_latency = cfg.page_in_latency;
         let state = Rc::new(RefCell::new(os));
         let alloc = Rc::new(RefCell::new(alloc));
 
@@ -276,6 +287,7 @@ impl System {
         let mut st = self.state.borrow_mut();
         st.processes[pid].aborted = Some("logout".to_string());
         st.processes[pid].saved = None;
+        st.sched.remove(pid);
     }
 
     /// The supervisor statistics snapshot.
@@ -320,7 +332,20 @@ impl System {
         for (pid, p) in st.processes.iter().enumerate() {
             snap.push_extra(format!("os.proc.{pid}.gate_calls"), p.gate_calls);
             snap.push_extra(format!("os.proc.{pid}.upward_calls"), p.upward_calls);
+            snap.push_extra(format!("os.proc.{pid}.preemptions"), p.preemptions);
+            snap.push_extra(format!("os.proc.{pid}.page_faults"), p.page_faults);
         }
+        let sc = st.sched.stats;
+        snap.sched = ring_metrics::SchedStats {
+            context_switches: sc.context_switches,
+            preemptions: sc.preemptions,
+            page_faults_minor: sc.page_faults_minor,
+            page_faults_major: sc.page_faults_major,
+            evictions: sc.evictions,
+            io_blocks: sc.io_blocks,
+            page_blocks: sc.page_blocks,
+            idle_cycles: sc.idle_cycles,
+        };
         snap
     }
 

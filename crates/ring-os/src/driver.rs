@@ -188,8 +188,8 @@ impl System {
     }
 
     /// Stores `pid`'s current machine state as its schedulable saved
-    /// state (so the round-robin scheduler can later resume it). Call
-    /// after [`System::prepare`].
+    /// state and puts it on the ready queue (so the round-robin
+    /// scheduler can later resume it). Call after [`System::prepare`].
     pub fn park(&mut self, pid: usize) {
         let snap = ring_cpu::trap::SavedState {
             ipr: self.machine.ipr(),
@@ -200,7 +200,9 @@ impl System {
             ind_zero: true,
             ind_neg: false,
         };
-        self.state.borrow_mut().processes[pid].saved = Some(snap);
+        let mut st = self.state.borrow_mut();
+        st.processes[pid].saved = Some(snap);
+        st.sched.make_ready(pid);
     }
 }
 

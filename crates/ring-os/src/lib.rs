@@ -40,6 +40,7 @@ pub mod state;
 pub mod strings;
 pub mod subsystems;
 pub mod traps;
+pub mod workload;
 
 pub use acl::{Acl, AclEntry, Modes};
 pub use boot::{System, SystemConfig};

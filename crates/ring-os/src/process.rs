@@ -49,6 +49,11 @@ pub struct ProcessState {
     pub gate_calls: u64,
     /// Software-mediated upward calls made by this process.
     pub upward_calls: u64,
+    /// Times the scheduler took the processor away from this process
+    /// while it was still runnable (timer runouts it lost).
+    pub preemptions: u64,
+    /// Page faults (minor and major) this process took.
+    pub page_faults: u64,
 }
 
 impl ProcessState {
@@ -69,6 +74,8 @@ impl ProcessState {
             aborted: None,
             gate_calls: 0,
             upward_calls: 0,
+            preemptions: 0,
+            page_faults: 0,
         }
     }
 

@@ -7,6 +7,8 @@ use std::collections::HashMap;
 
 use ring_core::registers::Ipr;
 use ring_core::ring::Ring;
+use ring_sched::Scheduler;
+use ring_segmem::{BackingStore, FramePool};
 
 use crate::fs::FileSystem;
 use crate::process::ProcessState;
@@ -92,6 +94,16 @@ pub struct OsState {
     pub quantum: u64,
     /// Trace of scheduler decisions (process ids), for tests.
     pub schedule_trace: Vec<usize>,
+    /// Run and blocked queues plus scheduling counters.
+    pub sched: Scheduler,
+    /// Physical-frame budget for demand paging, when one is configured;
+    /// `None` means frames are never reclaimed (the legacy behaviour).
+    pub frames: Option<FramePool>,
+    /// The simulated drum holding evicted pages.
+    pub backing: BackingStore,
+    /// Simulated cycles a drum transfer takes; a major page fault
+    /// blocks the faulting process for this long.
+    pub page_in_latency: u64,
 }
 
 impl OsState {
@@ -107,6 +119,10 @@ impl OsState {
             stats: SupervisorStats::default(),
             quantum: 5_000,
             schedule_trace: Vec::new(),
+            sched: Scheduler::new(),
+            frames: None,
+            backing: BackingStore::new(),
+            page_in_latency: 1_000,
         }
     }
 

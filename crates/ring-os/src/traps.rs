@@ -6,25 +6,42 @@
 //!
 //! * **segment faults** — demand loading of initiated segments (memory
 //!   multiplexing, a ring-0 function in the paper's layering);
-//! * **page faults** — demand paging of large segments;
-//! * **timer runout** — processor multiplexing (round-robin);
+//! * **page faults** — demand paging of large segments, with CLOCK
+//!   eviction to a simulated drum when a physical-frame budget is
+//!   configured; a *major* fault (page refilled from the drum) blocks
+//!   the faulting process for the transfer latency and dispatches
+//!   another;
+//! * **timer runout** — processor multiplexing: round-robin over the
+//!   ready queue, blocked processes skipped;
 //! * **upward calls / downward returns** — the two ring crossings the
 //!   hardware hands to software, implemented with a per-process
 //!   push-down stack of dynamically created return gates;
-//! * **I/O completions**;
+//! * **I/O completions** — wake processes blocked on the channel;
 //! * **derail `EXIT_CODE`** — orderly process exit;
+//! * **derail `IO_WAIT_CODE`** — block until the channel named in the
+//!   A register completes, instead of spinning on a status word;
 //! * everything else — process abort.
+//!
+//! Every dispatch — timer preemption, block, wake, abort — goes
+//! through `dispatch_to`, which reloads the DBR (flushing the SDW
+//! cache and TLB with it, exactly as the paper's hardware requires on
+//! an address-space switch) and notes the decision on the scheduler
+//! trace and span stream.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use ring_core::access::{vector, Fault};
-use ring_core::addr::{SegAddr, SegNo};
+use ring_core::addr::{AbsAddr, SegAddr, SegNo};
 use ring_core::registers::Ipr;
+use ring_cpu::io::NUM_CHANNELS;
 use ring_cpu::machine::Machine;
 use ring_cpu::native::NativeAction;
+use ring_sched::BlockReason;
+use ring_segmem::frames::{sweep_out, FrameOwner};
 use ring_segmem::layout::PhysAllocator;
 use ring_segmem::paging::{pages_for, Ptw, PAGE_WORDS};
+use ring_segmem::PageKey;
 
 use crate::conventions::{segs, PR_RP};
 use crate::services::SMALL_SEGMENT_WORDS;
@@ -32,6 +49,10 @@ use crate::state::OsState;
 
 /// The derail code user programs raise to exit cleanly.
 pub const EXIT_CODE: u32 = 0o777;
+
+/// The derail code that blocks the process until the I/O channel named
+/// in the A register completes (the supervisor's "wait" primitive).
+pub const IO_WAIT_CODE: u32 = 0o776;
 
 /// Installs the trap dispatcher on the machine.
 pub fn install(
@@ -65,7 +86,18 @@ fn dispatch(
             let (_, _, addr, _) = m.fault_info()?;
             s.stats.page_faults += 1;
             match load_page(m, s, a, addr) {
-                Ok(()) => Ok(NativeAction::Resume),
+                Ok(None) => Ok(NativeAction::Resume),
+                Ok(Some(wake_at)) => {
+                    // Major fault: the process sleeps out the drum
+                    // transfer. The saved IPR points at the faulting
+                    // instruction, so it restarts transparently on
+                    // wake-up.
+                    let saved = m.saved_state()?;
+                    let cur = s.current;
+                    s.processes[cur].saved = Some(saved);
+                    s.sched.block(cur, BlockReason::PageWait { wake_at });
+                    next_or_idle(m, s)
+                }
                 Err(reason) => abort_current(m, s, &reason),
             }
         }
@@ -75,6 +107,9 @@ fn dispatch(
         }
         vector::IO_COMPLETION => {
             s.stats.io_completions += 1;
+            if let Some(Fault::IoCompletion { channel }) = m.last_fault() {
+                s.sched.wake_io(channel);
+            }
             Ok(NativeAction::Resume)
         }
         vector::UPWARD_CALL => {
@@ -90,8 +125,11 @@ fn dispatch(
         }
         vector::DERAIL => {
             let (_, _, _, detail) = m.fault_info()?;
-            if detail.raw() as u32 == EXIT_CODE {
+            let code = detail.raw() as u32;
+            if code == EXIT_CODE {
                 abort_current(m, s, "exit")
+            } else if code == IO_WAIT_CODE {
+                io_wait(m, s)
             } else {
                 abort_current(m, s, &format!("derail {}", detail.raw()))
             }
@@ -178,12 +216,20 @@ fn load_segment(
 }
 
 /// Brings one page of a paged segment into memory.
+///
+/// Under a frame budget the frame comes from the CLOCK pool, possibly
+/// evicting a victim page to the backing store first (with a full
+/// translation shoot-down, since the victim may be mapped in any
+/// address space). Returns `Ok(Some(wake_at))` when the fill came from
+/// the drum — a *major* fault whose transfer latency the caller must
+/// sleep out — and `Ok(None)` for a *minor* fault filled from the file
+/// image.
 fn load_page(
     m: &mut Machine,
     s: &mut OsState,
     a: &mut PhysAllocator,
     addr: SegAddr,
-) -> Result<(), String> {
+) -> Result<Option<u64>, String> {
     let segno = addr.segno.value();
     let entry = s
         .current_process()
@@ -197,54 +243,243 @@ fn load_page(
         return Err("page fault on unpaged segment".into());
     }
     let page = addr.wordno.value() / PAGE_WORDS;
-    let frame = a.alloc_frame().map_err(|e| format!("out of frames: {e}"))?;
+    let ptw_addr = sdw.addr.wrapping_add(page);
+    let cur = s.current;
+    let mut victim = None;
+    let frame = match s.frames.as_mut() {
+        Some(pool) => {
+            let got = pool.acquire(
+                a,
+                m.phys_mut(),
+                FrameOwner {
+                    pid: cur,
+                    segno,
+                    page,
+                    ptw_addr,
+                },
+            );
+            victim = got.victim;
+            got.frame
+        }
+        None => a.alloc_frame().map_err(|e| format!("out of frames: {e}"))?,
+    };
+    if let Some(v) = victim {
+        // Sweep the victim out to the drum under its stored-segment
+        // identity (several processes may map the same segment through
+        // one page table), unmap its PTW, and shoot down every cached
+        // translation: the victim may be mapped in any address space,
+        // and the CLOCK sweep also cleared used bits that the TLB
+        // would otherwise keep stale.
+        let vseg = s.processes[v.owner.pid]
+            .lookup(v.owner.segno)
+            .map(|e| e.id.0)
+            .ok_or_else(|| {
+                format!(
+                    "victim page has no KST entry: pid {} segno {}",
+                    v.owner.pid, v.owner.segno
+                )
+            })?;
+        let words = sweep_out(m.phys_mut(), &v, frame, PAGE_WORDS as usize);
+        s.backing.store(
+            PageKey {
+                seg: vseg,
+                page: v.owner.page,
+            },
+            words,
+        );
+        s.sched.stats.evictions += 1;
+        m.translator_mut().flush_cache();
+    }
     let base = frame * PAGE_WORDS;
-    let data = &s.fs.segment(entry.id).data;
-    let lo = (page * PAGE_WORDS) as usize;
-    let hi = ((page + 1) * PAGE_WORDS) as usize;
-    for (i, w) in data
-        .iter()
-        .skip(lo)
-        .take(hi.saturating_sub(lo).min(data.len().saturating_sub(lo)))
-        .enumerate()
-    {
-        m.phys_mut()
-            .poke(
-                ring_core::addr::AbsAddr::from_bits(u64::from(base + i as u32)),
-                *w,
-            )
-            .map_err(|e| e.to_string())?;
+    let key = PageKey {
+        seg: entry.id.0,
+        page,
+    };
+    let fetched = s.backing.fetch(key);
+    let major = fetched.is_some();
+    if let Some(words) = fetched {
+        // Refill from the drum (consuming the drum copy, which goes
+        // stale the moment the page is writable in core). The words
+        // are copied eagerly for simulation simplicity; the block the
+        // caller applies models the transfer time.
+        for (i, w) in words.iter().enumerate() {
+            m.phys_mut()
+                .poke(AbsAddr::from_bits(u64::from(base + i as u32)), *w)
+                .map_err(|e| e.to_string())?;
+        }
+    } else {
+        let data = &s.fs.segment(entry.id).data;
+        let lo = (page * PAGE_WORDS) as usize;
+        let hi = ((page + 1) * PAGE_WORDS) as usize;
+        for (i, w) in data
+            .iter()
+            .skip(lo)
+            .take(hi.saturating_sub(lo).min(data.len().saturating_sub(lo)))
+            .enumerate()
+        {
+            m.phys_mut()
+                .poke(AbsAddr::from_bits(u64::from(base + i as u32)), *w)
+                .map_err(|e| e.to_string())?;
+        }
     }
     let ptw = Ptw::present(frame).ok_or("frame number overflow")?;
     m.phys_mut()
         .poke(sdw.addr.wrapping_add(page), ptw.pack())
         .map_err(|e| e.to_string())?;
-    Ok(())
+    s.processes[cur].page_faults += 1;
+    if major {
+        s.sched.stats.page_faults_major += 1;
+        Ok(Some(m.cycles() + s.page_in_latency))
+    } else {
+        s.sched.stats.page_faults_minor += 1;
+        Ok(None)
+    }
 }
 
-/// Round-robin processor multiplexing on timer runout.
+/// Round-robin processor multiplexing on timer runout: the preempted
+/// process goes to the back of the ready queue and the head runs next.
 fn schedule(m: &mut Machine, s: &mut OsState) -> Result<NativeAction, Fault> {
     let cur = s.current;
     let running = m.saved_state()?;
     s.processes[cur].saved = Some(running);
-    // Next runnable process that has a saved state to resume.
-    let n = s.processes.len();
-    let next = (1..=n)
-        .map(|k| (cur + k) % n)
-        .find(|&i| s.processes[i].aborted.is_none() && s.processes[i].saved.is_some());
-    if let Some(next) = next {
-        s.current = next;
-        s.schedule_trace.push(next);
-        let dbr = s.processes[next].dbr;
-        let resume = s.processes[next].saved.take().expect("checked");
-        m.load_dbr(dbr);
-        m.set_saved_state(&resume)?;
-    } else {
-        s.processes[cur].saved = None;
+    s.sched.wake_due(m.cycles());
+    s.sched.make_ready(cur);
+    let next = pop_ready(s).expect("current process is on the ready queue");
+    if next != cur {
+        s.sched.stats.preemptions += 1;
+        s.processes[cur].preemptions += 1;
     }
-    let quantum = s.quantum;
-    m.set_timer(Some(quantum));
+    dispatch_to(m, s, next)?;
+    m.set_timer(Some(s.quantum));
     Ok(NativeAction::Resume)
+}
+
+/// Blocks the current process until the I/O channel named in its A
+/// register completes (derail `IO_WAIT_CODE`).
+fn io_wait(m: &mut Machine, s: &mut OsState) -> Result<NativeAction, Fault> {
+    let mut saved = m.saved_state()?;
+    let channel = (saved.a.raw() as usize) % NUM_CHANNELS;
+    // The saved IPR points at the DRL itself; resume past it once the
+    // wait is over.
+    saved.ipr = Ipr::new(
+        saved.ipr.ring,
+        SegAddr::new(saved.ipr.addr.segno, saved.ipr.addr.wordno.wrapping_add(1)),
+    );
+    if !m.io().busy(channel) {
+        // The completion already arrived; nothing to wait for.
+        m.set_saved_state(&saved)?;
+        return Ok(NativeAction::Resume);
+    }
+    let cur = s.current;
+    s.processes[cur].saved = Some(saved);
+    s.sched.block(
+        cur,
+        BlockReason::IoWait {
+            channel: channel as u8,
+        },
+    );
+    next_or_idle(m, s)
+}
+
+/// Pops ready processes until a live one surfaces (aborted processes
+/// may linger on the queue if they died while waiting).
+fn pop_ready(s: &mut OsState) -> Option<usize> {
+    while let Some(pid) = s.sched.pop_next() {
+        if s.processes[pid].aborted.is_none() {
+            return Some(pid);
+        }
+    }
+    None
+}
+
+/// Gives the processor to `next`: reload its DBR (flushing the SDW
+/// cache and TLB — the address space changed), restore its saved state
+/// into the trap save area, and note the dispatch for the trace.
+fn dispatch_to(m: &mut Machine, s: &mut OsState, next: usize) -> Result<(), Fault> {
+    if next != s.current {
+        s.sched.stats.context_switches += 1;
+    }
+    s.current = next;
+    s.schedule_trace.push(next);
+    let dbr = s.processes[next].dbr;
+    let resume = s.processes[next]
+        .saved
+        .take()
+        .expect("dispatched process has a saved state");
+    m.load_dbr(dbr);
+    m.set_saved_state(&resume)?;
+    m.note_sched(next as u32);
+    Ok(())
+}
+
+/// Dispatches the next ready process, or idles the machine forward to
+/// the next wake-up event if every live process is blocked.
+fn next_or_idle(m: &mut Machine, s: &mut OsState) -> Result<NativeAction, Fault> {
+    if let Some(next) = pop_ready(s) {
+        dispatch_to(m, s, next)?;
+        if m.timer().is_some() {
+            m.set_timer(Some(s.quantum));
+        }
+        return Ok(NativeAction::Resume);
+    }
+    idle_advance(m, s)
+}
+
+/// Every live process is blocked: charge simulated time straight to
+/// the earliest wake-up event (page-in completion or awaited channel
+/// completion), wake whoever it unblocks, and dispatch. Halts the
+/// machine when nothing will ever wake.
+fn idle_advance(m: &mut Machine, s: &mut OsState) -> Result<NativeAction, Fault> {
+    let now = m.cycles();
+    let mut target = s.sched.next_page_wake();
+    for pid in 0..s.processes.len() {
+        if let Some(BlockReason::IoWait { channel }) = s.sched.blocked_reason(pid) {
+            match m.io().channel_done_at(channel as usize) {
+                Some(t) => target = Some(target.map_or(t, |x| x.min(t))),
+                // The channel already went quiet (its completion was
+                // delivered before the block): wake the waiter now.
+                None => {
+                    s.sched.wake_io(channel);
+                }
+            }
+        }
+    }
+    if let Some(next) = pop_ready(s) {
+        dispatch_to(m, s, next)?;
+        if m.timer().is_some() {
+            m.set_timer(Some(s.quantum));
+        }
+        return Ok(NativeAction::Resume);
+    }
+    let Some(target) = target else {
+        // No pending page-in, no awaited channel: nothing will ever
+        // wake a process again.
+        return Ok(NativeAction::Halt);
+    };
+    let delta = target.saturating_sub(now);
+    m.charge(delta);
+    s.sched.stats.idle_cycles += delta;
+    s.sched.wake_due(target);
+    for pid in 0..s.processes.len() {
+        if let Some(BlockReason::IoWait { channel }) = s.sched.blocked_reason(pid) {
+            if matches!(m.io().channel_done_at(channel as usize), Some(t) if t <= target) {
+                s.sched.wake_io(channel);
+            }
+        }
+    }
+    match pop_ready(s) {
+        Some(next) => {
+            dispatch_to(m, s, next)?;
+            if m.timer().is_some() {
+                // The idle charge lands on this same step, so pad the
+                // quantum by it: the woken process still gets a full
+                // quantum of its own execution.
+                m.set_timer(Some(s.quantum + delta));
+            }
+            Ok(NativeAction::Resume)
+        }
+        None => Ok(NativeAction::Halt),
+    }
 }
 
 /// Software-mediated upward call: validate the target, push a dynamic
@@ -307,27 +542,16 @@ fn downward_return(m: &mut Machine, s: &mut OsState) -> Result<NativeAction, Fau
     Ok(NativeAction::Resume)
 }
 
-/// Aborts the current process; switches to another runnable process or
-/// halts the machine if none remains.
+/// Aborts the current process; switches to another live process (or
+/// idles to one's wake-up) or halts the machine if none remains.
 fn abort_current(m: &mut Machine, s: &mut OsState, reason: &str) -> Result<NativeAction, Fault> {
     if reason != "exit" {
         s.stats.aborts += 1;
     }
     let cur = s.current;
     s.processes[cur].aborted = Some(reason.to_string());
-    let n = s.processes.len();
-    let next = (1..=n)
-        .map(|k| (cur + k) % n)
-        .find(|&i| s.processes[i].aborted.is_none() && s.processes[i].saved.is_some());
-    if let Some(next) = next {
-        s.current = next;
-        s.schedule_trace.push(next);
-        let dbr = s.processes[next].dbr;
-        let resume = s.processes[next].saved.take().expect("checked");
-        m.load_dbr(dbr);
-        m.set_saved_state(&resume)?;
-        Ok(NativeAction::Resume)
-    } else {
-        Ok(NativeAction::Halt)
-    }
+    s.processes[cur].saved = None;
+    s.sched.remove(cur);
+    s.sched.wake_due(m.cycles());
+    next_or_idle(m, s)
 }

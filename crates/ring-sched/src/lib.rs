@@ -1,0 +1,283 @@
+//! Process scheduler for the multiprogramming kernel.
+//!
+//! The paper's supervisor multiplexes one processor over many
+//! per-process virtual memories; this crate is the policy half of that
+//! multiplexing. It is deliberately hardware-free: the kernel (ring-os)
+//! owns the machine, the descriptor segments, and the DBR — the
+//! [`Scheduler`] only decides *which* process runs next and remembers
+//! *why* the others cannot.
+//!
+//! The policy is preemptive round-robin: runnable processes wait in a
+//! FIFO ready queue, a timer runout sends the running process to the
+//! back, and a process that must wait (an outstanding I/O operation, a
+//! page being read from the backing store) leaves the queue entirely
+//! until the event it is blocked on arrives. All state is plain data,
+//! so a scheduler embedded in a recorded run evolves deterministically
+//! and replays bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Why a process is not on the ready queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Waiting for the completion interrupt of channel `channel`.
+    IoWait {
+        /// The I/O channel whose completion unblocks the process.
+        channel: u8,
+    },
+    /// Waiting for a page-in from the backing store; the transfer
+    /// finishes at simulated cycle `wake_at`.
+    PageWait {
+        /// Simulated cycle count at which the page-in completes.
+        wake_at: u64,
+    },
+}
+
+impl fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockReason::IoWait { channel } => write!(f, "io-wait ch{channel}"),
+            BlockReason::PageWait { wake_at } => write!(f, "page-wait @{wake_at}"),
+        }
+    }
+}
+
+/// Scheduling counters, mirrored into the metrics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Dispatches that changed the running process (DBR switches).
+    pub context_switches: u64,
+    /// Timer runouts that preempted a still-runnable process.
+    pub preemptions: u64,
+    /// Page faults satisfied from the segment's file image (first
+    /// touch; no backing-store read).
+    pub page_faults_minor: u64,
+    /// Page faults satisfied from the backing store (the page was
+    /// evicted earlier; the faulting process blocks for the transfer).
+    pub page_faults_major: u64,
+    /// Resident pages evicted to the backing store by the CLOCK hand.
+    pub evictions: u64,
+    /// Times a process blocked waiting for an I/O completion.
+    pub io_blocks: u64,
+    /// Times a process blocked waiting for a page-in.
+    pub page_blocks: u64,
+    /// Cycles the processor idled because every process was blocked.
+    pub idle_cycles: u64,
+}
+
+/// The round-robin scheduler: a FIFO ready queue plus a blocked list.
+///
+/// Process identifiers are the kernel's process-table indices. The
+/// scheduler never invents pids; it only reorders the ones the kernel
+/// hands it, so the kernel stays free to consult its own table for
+/// liveness before dispatching.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    ready: VecDeque<usize>,
+    blocked: Vec<(usize, BlockReason)>,
+    /// Scheduling counters (public: the kernel increments the fault
+    /// and idle counters itself as it performs those actions).
+    pub stats: SchedStats,
+}
+
+impl Scheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `pid` to the ready queue if it is not already queued or
+    /// blocked. Idempotent, so wake paths need not check first.
+    pub fn make_ready(&mut self, pid: usize) {
+        if !self.ready.contains(&pid) && !self.blocked.iter().any(|&(p, _)| p == pid) {
+            self.ready.push_back(pid);
+        }
+    }
+
+    /// Pops the next runnable process, FIFO order.
+    pub fn pop_next(&mut self) -> Option<usize> {
+        self.ready.pop_front()
+    }
+
+    /// Moves `pid` from wherever it is to the blocked list.
+    pub fn block(&mut self, pid: usize, reason: BlockReason) {
+        self.ready.retain(|&p| p != pid);
+        self.blocked.retain(|&(p, _)| p != pid);
+        self.blocked.push((pid, reason));
+        match reason {
+            BlockReason::IoWait { .. } => self.stats.io_blocks += 1,
+            BlockReason::PageWait { .. } => self.stats.page_blocks += 1,
+        }
+    }
+
+    /// Wakes every process blocked on channel `channel`, readying them
+    /// in block order. Returns how many woke.
+    pub fn wake_io(&mut self, channel: u8) -> usize {
+        let mut woke = 0;
+        let mut i = 0;
+        while i < self.blocked.len() {
+            if self.blocked[i].1 == (BlockReason::IoWait { channel }) {
+                let (pid, _) = self.blocked.remove(i);
+                self.ready.push_back(pid);
+                woke += 1;
+            } else {
+                i += 1;
+            }
+        }
+        woke
+    }
+
+    /// Wakes every process whose page-in completed at or before `now`.
+    /// Returns how many woke.
+    pub fn wake_due(&mut self, now: u64) -> usize {
+        let mut woke = 0;
+        let mut i = 0;
+        while i < self.blocked.len() {
+            if matches!(self.blocked[i].1, BlockReason::PageWait { wake_at } if wake_at <= now) {
+                let (pid, _) = self.blocked.remove(i);
+                self.ready.push_back(pid);
+                woke += 1;
+            } else {
+                i += 1;
+            }
+        }
+        woke
+    }
+
+    /// The earliest page-wait deadline among blocked processes, if any.
+    /// (I/O waits have no deadline here — the I/O system knows when its
+    /// channels complete.)
+    pub fn next_page_wake(&self) -> Option<u64> {
+        self.blocked
+            .iter()
+            .filter_map(|&(_, r)| match r {
+                BlockReason::PageWait { wake_at } => Some(wake_at),
+                BlockReason::IoWait { .. } => None,
+            })
+            .min()
+    }
+
+    /// Removes `pid` from both queues (process exit or abort).
+    pub fn remove(&mut self, pid: usize) {
+        self.ready.retain(|&p| p != pid);
+        self.blocked.retain(|&(p, _)| p != pid);
+    }
+
+    /// True when `pid` is waiting on the ready queue.
+    pub fn is_ready(&self, pid: usize) -> bool {
+        self.ready.contains(&pid)
+    }
+
+    /// Why `pid` is blocked, or `None` if it is not.
+    pub fn blocked_reason(&self, pid: usize) -> Option<BlockReason> {
+        self.blocked
+            .iter()
+            .find(|&&(p, _)| p == pid)
+            .map(|&(_, r)| r)
+    }
+
+    /// Number of processes on the ready queue.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Number of blocked processes.
+    pub fn blocked_len(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// True when any process is blocked waiting on an I/O channel.
+    pub fn has_io_waiters(&self) -> bool {
+        self.blocked
+            .iter()
+            .any(|&(_, r)| matches!(r, BlockReason::IoWait { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_order_is_fifo() {
+        let mut s = Scheduler::new();
+        s.make_ready(1);
+        s.make_ready(2);
+        s.make_ready(3);
+        assert_eq!(s.pop_next(), Some(1));
+        s.make_ready(1); // back of the queue
+        assert_eq!(s.pop_next(), Some(2));
+        assert_eq!(s.pop_next(), Some(3));
+        assert_eq!(s.pop_next(), Some(1));
+        assert_eq!(s.pop_next(), None);
+    }
+
+    #[test]
+    fn make_ready_is_idempotent() {
+        let mut s = Scheduler::new();
+        s.make_ready(7);
+        s.make_ready(7);
+        assert_eq!(s.ready_len(), 1);
+        s.block(7, BlockReason::IoWait { channel: 0 });
+        s.make_ready(7); // blocked: must NOT sneak back onto the queue
+        assert_eq!(s.ready_len(), 0);
+        assert_eq!(s.blocked_len(), 1);
+    }
+
+    #[test]
+    fn io_wake_frees_only_matching_channel() {
+        let mut s = Scheduler::new();
+        s.block(1, BlockReason::IoWait { channel: 0 });
+        s.block(2, BlockReason::IoWait { channel: 3 });
+        s.block(3, BlockReason::IoWait { channel: 0 });
+        assert_eq!(s.wake_io(0), 2);
+        assert_eq!(s.pop_next(), Some(1));
+        assert_eq!(s.pop_next(), Some(3));
+        assert_eq!(s.pop_next(), None);
+        assert_eq!(
+            s.blocked_reason(2),
+            Some(BlockReason::IoWait { channel: 3 })
+        );
+    }
+
+    #[test]
+    fn page_waits_wake_by_deadline() {
+        let mut s = Scheduler::new();
+        s.block(1, BlockReason::PageWait { wake_at: 100 });
+        s.block(2, BlockReason::PageWait { wake_at: 50 });
+        assert_eq!(s.next_page_wake(), Some(50));
+        assert_eq!(s.wake_due(49), 0);
+        assert_eq!(s.wake_due(50), 1);
+        assert_eq!(s.pop_next(), Some(2));
+        assert_eq!(s.next_page_wake(), Some(100));
+        assert_eq!(s.wake_due(u64::MAX), 1);
+        assert_eq!(s.pop_next(), Some(1));
+    }
+
+    #[test]
+    fn remove_clears_both_queues() {
+        let mut s = Scheduler::new();
+        s.make_ready(1);
+        s.block(2, BlockReason::IoWait { channel: 1 });
+        s.remove(1);
+        s.remove(2);
+        assert_eq!(s.ready_len(), 0);
+        assert_eq!(s.blocked_len(), 0);
+        assert!(!s.has_io_waiters());
+    }
+
+    #[test]
+    fn block_counters_accumulate() {
+        let mut s = Scheduler::new();
+        s.block(1, BlockReason::IoWait { channel: 0 });
+        s.block(2, BlockReason::PageWait { wake_at: 9 });
+        s.block(3, BlockReason::PageWait { wake_at: 9 });
+        assert_eq!(s.stats.io_blocks, 1);
+        assert_eq!(s.stats.page_blocks, 2);
+        assert!(s.has_io_waiters());
+    }
+}

@@ -1,0 +1,314 @@
+//! Physical-frame budget and CLOCK page replacement.
+//!
+//! Demand paging needs two pieces the bump allocator cannot provide: a
+//! ceiling on how many page frames user segments may occupy, and a
+//! policy for choosing which resident page to evict when the ceiling is
+//! hit. [`FramePool`] supplies both. Frames come from the ordinary
+//! [`PhysAllocator`] the first
+//! `budget` times; after that the CLOCK hand sweeps the resident set,
+//! clearing PTW `used` bits (set by the hardware's page-table walk on
+//! every miss) and evicting the first page found unreferenced since the
+//! hand last passed.
+//!
+//! The pool never touches page *contents* — the kernel copies the
+//! victim to the backing store and refills the frame. It does read and
+//! rewrite PTWs, and it reports every `used` bit it clears so the
+//! kernel can invalidate the matching TLB entries: a cleared reference
+//! bit must force the next access back through the full walk, otherwise
+//! a fast-path hit would leave the bit stale and replacement would
+//! starve the page.
+
+use ring_core::word::Word;
+use ring_core::AbsAddr;
+
+use crate::layout::PhysAllocator;
+use crate::paging::Ptw;
+use crate::phys::PhysMem;
+
+/// Who owns a resident frame: the page of a per-process segment, plus
+/// the physical address of the PTW that maps it (so the pool can read
+/// the hardware's `used`/`modified` bits and the kernel can mark the
+/// page missing on eviction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameOwner {
+    /// Process-table index of the owning process.
+    pub pid: usize,
+    /// Segment number in that process's descriptor segment.
+    pub segno: u32,
+    /// Page number within the segment.
+    pub page: u32,
+    /// Physical address of the PTW mapping this page.
+    pub ptw_addr: AbsAddr,
+}
+
+/// A page pushed out by the CLOCK hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The page that lost its frame.
+    pub owner: FrameOwner,
+    /// The PTW `modified` bit at eviction time (informational: the
+    /// kernel writes every victim back regardless, because a fast-path
+    /// TLB hit can carry a store that never re-walks the PTW).
+    pub modified: bool,
+}
+
+/// The outcome of [`FramePool::acquire`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Acquire {
+    /// The frame now owned by the requested page (contents still the
+    /// victim's when `victim` is `Some` — copy out before refilling).
+    pub frame: u32,
+    /// The page evicted to free `frame`, if the budget was exhausted.
+    pub victim: Option<Evicted>,
+    /// Segments whose PTW `used` bit the hand cleared while scanning;
+    /// the kernel must invalidate their TLB entries.
+    pub cleared: Vec<u32>,
+}
+
+/// A fixed budget of page frames with CLOCK (second-chance) eviction.
+#[derive(Debug)]
+pub struct FramePool {
+    budget: usize,
+    /// Resident frames in acquisition order; the CLOCK hand walks this.
+    slots: Vec<(u32, FrameOwner)>,
+    /// Frames returned by [`FramePool::release_pid`], reused first.
+    free: Vec<u32>,
+    hand: usize,
+}
+
+impl FramePool {
+    /// A pool allowing at most `budget` resident frames (minimum 1).
+    pub fn new(budget: u32) -> FramePool {
+        FramePool {
+            budget: (budget.max(1)) as usize,
+            slots: Vec::new(),
+            free: Vec::new(),
+            hand: 0,
+        }
+    }
+
+    /// The configured frame budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Finds a frame for `owner`'s page: a freed frame if one exists,
+    /// a fresh frame from `alloc` while under budget, otherwise the
+    /// CLOCK victim's frame. The pool records `owner` as the new
+    /// occupant either way.
+    pub fn acquire(
+        &mut self,
+        alloc: &mut PhysAllocator,
+        phys: &mut PhysMem,
+        owner: FrameOwner,
+    ) -> Acquire {
+        if let Some(frame) = self.free.pop() {
+            self.slots.push((frame, owner));
+            return Acquire {
+                frame,
+                victim: None,
+                cleared: Vec::new(),
+            };
+        }
+        if self.slots.len() < self.budget {
+            let frame = alloc
+                .alloc_frame()
+                .expect("frame budget fits in physical memory");
+            self.slots.push((frame, owner));
+            return Acquire {
+                frame,
+                victim: None,
+                cleared: Vec::new(),
+            };
+        }
+        // CLOCK: give each used page one second chance, then evict the
+        // first unreferenced page the hand reaches. Two sweeps always
+        // suffice — the first pass clears every `used` bit it sees.
+        let mut cleared = Vec::new();
+        for _ in 0..2 * self.slots.len() + 1 {
+            let slot = self.hand % self.slots.len();
+            let (frame, candidate) = self.slots[slot];
+            let ptw = Ptw::unpack(
+                phys.peek(candidate.ptw_addr)
+                    .expect("frame-table PTW address is valid physical memory"),
+            );
+            if ptw.used {
+                let mut second_chance = ptw;
+                second_chance.used = false;
+                phys.poke(candidate.ptw_addr, second_chance.pack())
+                    .expect("frame-table PTW address is valid physical memory");
+                cleared.push(candidate.segno);
+                self.hand = (self.hand + 1) % self.slots.len();
+                continue;
+            }
+            self.slots[slot] = (frame, owner);
+            self.hand = (slot + 1) % self.slots.len();
+            return Acquire {
+                frame,
+                victim: Some(Evicted {
+                    owner: candidate,
+                    modified: ptw.modified,
+                }),
+                cleared,
+            };
+        }
+        unreachable!("CLOCK finds a victim within two sweeps");
+    }
+
+    /// Releases every frame owned by `pid` back to the free list
+    /// (process exit or abort). Returns the freed frames.
+    pub fn release_pid(&mut self, pid: usize) -> Vec<u32> {
+        let mut freed = Vec::new();
+        self.slots.retain(|&(frame, owner)| {
+            if owner.pid == pid {
+                freed.push(frame);
+                false
+            } else {
+                true
+            }
+        });
+        self.free.extend(freed.iter().copied());
+        if !self.slots.is_empty() {
+            self.hand %= self.slots.len();
+        } else {
+            self.hand = 0;
+        }
+        freed
+    }
+
+    /// The resident set as `(frame, owner)` pairs, in slot order.
+    pub fn resident_set(&self) -> &[(u32, FrameOwner)] {
+        &self.slots
+    }
+}
+
+/// Marks the victim's PTW missing (preserving nothing — the page is
+/// gone) and returns the words the frame held, ready for the backing
+/// store.
+pub fn sweep_out(phys: &mut PhysMem, victim: &Evicted, frame: u32, page_words: usize) -> Vec<Word> {
+    let base = frame as usize * page_words;
+    let mut words = Vec::with_capacity(page_words);
+    for i in 0..page_words {
+        let addr = AbsAddr::new((base + i) as u32).expect("resident frame is mapped memory");
+        words.push(phys.peek(addr).expect("resident frame is mapped memory"));
+    }
+    phys.poke(victim.owner.ptw_addr, Ptw::MISSING.pack())
+        .expect("frame-table PTW address is valid physical memory");
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paging::PAGE_WORDS;
+
+    fn world() -> (PhysAllocator, PhysMem) {
+        (PhysAllocator::new(0, 64 * 1024), PhysMem::new(64 * 1024))
+    }
+
+    fn owner(pid: usize, segno: u32, page: u32, ptw_at: u32) -> FrameOwner {
+        FrameOwner {
+            pid,
+            segno,
+            page,
+            ptw_addr: AbsAddr::new(ptw_at).unwrap(),
+        }
+    }
+
+    /// Installs a present PTW for `owner` at its `ptw_addr`.
+    fn map(phys: &mut PhysMem, o: &FrameOwner, frame: u32, used: bool) {
+        let mut ptw = Ptw::present(frame).unwrap();
+        ptw.used = used;
+        phys.poke(o.ptw_addr, ptw.pack()).unwrap();
+    }
+
+    #[test]
+    fn under_budget_frames_are_fresh() {
+        let (mut alloc, mut phys) = world();
+        let mut pool = FramePool::new(3);
+        for page in 0..3 {
+            let o = owner(0, 10, page, 100 + page);
+            let got = pool.acquire(&mut alloc, &mut phys, o);
+            assert!(got.victim.is_none());
+            map(&mut phys, &o, got.frame, false);
+        }
+        assert_eq!(pool.resident(), 3);
+    }
+
+    #[test]
+    fn clock_gives_used_pages_a_second_chance() {
+        let (mut alloc, mut phys) = world();
+        let mut pool = FramePool::new(2);
+        let a = owner(0, 10, 0, 100);
+        let b = owner(0, 10, 1, 101);
+        let fa = pool.acquire(&mut alloc, &mut phys, a).frame;
+        let fb = pool.acquire(&mut alloc, &mut phys, b).frame;
+        // A referenced since load, B not: the hand skips A, evicts B.
+        map(&mut phys, &a, fa, true);
+        map(&mut phys, &b, fb, false);
+        let c = owner(0, 10, 2, 102);
+        let got = pool.acquire(&mut alloc, &mut phys, c);
+        let victim = got.victim.expect("budget exhausted: someone is evicted");
+        assert_eq!(victim.owner, b);
+        assert_eq!(got.frame, fb, "victim's frame is recycled");
+        assert_eq!(got.cleared, vec![10], "A's used bit was cleared");
+        // A's second chance spent: its PTW used bit is now clear.
+        assert!(!Ptw::unpack(phys.peek(a.ptw_addr).unwrap()).used);
+    }
+
+    #[test]
+    fn all_used_degrades_to_fifo_second_pass() {
+        let (mut alloc, mut phys) = world();
+        let mut pool = FramePool::new(2);
+        let a = owner(0, 10, 0, 100);
+        let b = owner(0, 10, 1, 101);
+        let fa = pool.acquire(&mut alloc, &mut phys, a).frame;
+        let fb = pool.acquire(&mut alloc, &mut phys, b).frame;
+        map(&mut phys, &a, fa, true);
+        map(&mut phys, &b, fb, true);
+        let got = pool.acquire(&mut alloc, &mut phys, owner(0, 10, 2, 102));
+        // Both bits cleared on the first sweep; the oldest page loses.
+        assert_eq!(got.victim.unwrap().owner, a);
+        assert_eq!(got.cleared, vec![10, 10]);
+    }
+
+    #[test]
+    fn sweep_out_copies_frame_and_marks_missing() {
+        let (mut alloc, mut phys) = world();
+        let mut pool = FramePool::new(1);
+        let a = owner(0, 10, 0, 100);
+        let fa = pool.acquire(&mut alloc, &mut phys, a).frame;
+        map(&mut phys, &a, fa, false);
+        let base = fa * PAGE_WORDS;
+        phys.poke(AbsAddr::new(base).unwrap(), Word::new(0o123))
+            .unwrap();
+        let got = pool.acquire(&mut alloc, &mut phys, owner(0, 10, 1, 101));
+        let victim = got.victim.unwrap();
+        let words = sweep_out(&mut phys, &victim, got.frame, PAGE_WORDS as usize);
+        assert_eq!(words.len(), PAGE_WORDS as usize);
+        assert_eq!(words[0], Word::new(0o123));
+        let ptw = Ptw::unpack(phys.peek(a.ptw_addr).unwrap());
+        assert!(!ptw.present, "victim page is marked missing");
+    }
+
+    #[test]
+    fn release_pid_recycles_frames() {
+        let (mut alloc, mut phys) = world();
+        let mut pool = FramePool::new(2);
+        let a = owner(7, 10, 0, 100);
+        let fa = pool.acquire(&mut alloc, &mut phys, a).frame;
+        map(&mut phys, &a, fa, false);
+        let freed = pool.release_pid(7);
+        assert_eq!(freed, vec![fa]);
+        assert_eq!(pool.resident(), 0);
+        // The freed frame is handed out again before the allocator is
+        // consulted.
+        let got = pool.acquire(&mut alloc, &mut phys, owner(1, 11, 0, 101));
+        assert_eq!(got.frame, fa);
+    }
+}

@@ -13,14 +13,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backing;
 pub mod fastpath;
+pub mod frames;
 pub mod layout;
 pub mod paging;
 pub mod phys;
 pub mod sdw_cache;
 pub mod translate;
 
+pub use backing::{BackingStore, PageKey};
 pub use fastpath::{FastHit, RingTlb, TlbStats};
+pub use frames::{FrameOwner, FramePool};
 pub use layout::PhysAllocator;
 pub use paging::{Ptw, PAGE_WORDS};
 pub use phys::PhysMem;

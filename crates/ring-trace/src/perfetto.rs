@@ -5,9 +5,13 @@
 //! `chrome://tracing`. Each protection ring is one track (`tid` = ring
 //! number, with a `thread_name` metadata record), spans become `B`/`E`
 //! duration events, and faults/violations become thread-scoped `i`
-//! instant events. Timestamps are simulated cycles reported in the
-//! format's microsecond field — a cycle reads as a microsecond in the
-//! UI, which only rescales the axis.
+//! instant events. Scheduler dispatches additionally paint one track
+//! *per process* (`tid` = [`PROC_TID_BASE`] + pid): each dispatch ends
+//! the previous process's run slice and begins the next one's, so the
+//! process rows show the interleaving the round-robin scheduler chose,
+//! aligned under the per-ring rows. Timestamps are simulated cycles
+//! reported in the format's microsecond field — a cycle reads as a
+//! microsecond in the UI, which only rescales the axis.
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
@@ -16,6 +20,10 @@ use crate::span::{SpanEvent, SpanKind};
 
 /// The `pid` every track shares (one machine = one "process").
 const PID: u32 = 1;
+
+/// Offset separating per-process scheduler tracks from per-ring tracks
+/// (`tid` = `PROC_TID_BASE` + simulated pid; rings use `tid` 0..7).
+pub const PROC_TID_BASE: u32 = 100;
 
 /// Renders a span stream as a Chrome trace-event JSON document.
 ///
@@ -41,6 +49,10 @@ pub fn chrome_trace_json(events: &[SpanEvent], final_cycles: u64) -> String {
             ));
         }
     };
+    // Per-process scheduler tracks: name them on first sight and keep
+    // at most one run slice open (the currently dispatched process).
+    let mut procs_seen: Vec<u32> = Vec::new();
+    let mut running: Option<u32> = None;
     // Replay the stack so each `E` lands on the track its `B` used.
     let mut stack: Vec<(u8, SpanKind)> = Vec::new();
     for ev in events {
@@ -86,13 +98,46 @@ pub fn chrome_trace_json(events: &[SpanEvent], final_cycles: u64) -> String {
                     kind.category(),
                 ));
             }
+            SpanEvent::Sched { pid, cycles } => {
+                if let Some(prev) = running.take() {
+                    records.push(format!(
+                        "{{\"ph\": \"E\", \"pid\": {PID}, \"tid\": {}, \"ts\": {cycles}}}",
+                        PROC_TID_BASE + prev,
+                    ));
+                }
+                let tid = PROC_TID_BASE + pid;
+                if !procs_seen.contains(pid) {
+                    procs_seen.push(*pid);
+                    records.push(format!(
+                        "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {PID}, \
+                         \"tid\": {tid}, \"args\": {{\"name\": \"process {pid}\"}}}}"
+                    ));
+                    records.push(format!(
+                        "{{\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": {PID}, \
+                         \"tid\": {tid}, \"args\": {{\"sort_index\": {tid}}}}}"
+                    ));
+                }
+                records.push(format!(
+                    "{{\"ph\": \"B\", \"name\": \"run p{pid}\", \"cat\": \"sched\", \
+                     \"pid\": {PID}, \"tid\": {tid}, \"ts\": {cycles}, \
+                     \"args\": {{\"proc\": {pid}}}}}"
+                ));
+                running = Some(*pid);
+            }
         }
     }
     // Close out spans that were still open at the end of the run,
-    // innermost first.
+    // innermost first, then the run slice of whichever process held
+    // the machine when the run ended.
     while let Some((tid, _)) = stack.pop() {
         records.push(format!(
             "{{\"ph\": \"E\", \"pid\": {PID}, \"tid\": {tid}, \"ts\": {final_cycles}}}"
+        ));
+    }
+    if let Some(prev) = running.take() {
+        records.push(format!(
+            "{{\"ph\": \"E\", \"pid\": {PID}, \"tid\": {}, \"ts\": {final_cycles}}}",
+            PROC_TID_BASE + prev,
         ));
     }
     let mut out = String::from("{\"traceEvents\": [\n");
@@ -163,6 +208,72 @@ mod tests {
         let last = events.last().unwrap();
         assert_eq!(last.get("ph").unwrap().as_str(), Some("E"));
         assert_eq!(last.get("ts").unwrap().as_u64(), Some(99));
+    }
+
+    #[test]
+    fn sched_events_paint_per_process_tracks() {
+        let mut r = SpanRecorder::new();
+        r.enable();
+        r.sched(0, 0);
+        r.open(
+            SpanKind::Call,
+            SpanKey {
+                ring: 1,
+                segno: 20,
+                entry: 0,
+            },
+            4,
+            10,
+        );
+        r.close(4, 40);
+        r.sched(1, 100);
+        r.sched(0, 200);
+        let doc = chrome_trace_json(r.events(), 300);
+        let v = json::parse(&doc).expect("export parses as JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // B/E balance holds on every track, including the process ones.
+        let mut depth_per_tid = std::collections::HashMap::new();
+        let mut names = Vec::new();
+        for ev in events {
+            let ph = ev.get("ph").unwrap().as_str().unwrap();
+            let tid = ev.get("tid").unwrap().as_u64().unwrap();
+            match ph {
+                "B" => {
+                    *depth_per_tid.entry(tid).or_insert(0i64) += 1;
+                    names.push(ev.get("name").unwrap().as_str().unwrap().to_string());
+                }
+                "E" => *depth_per_tid.entry(tid).or_insert(0i64) -= 1,
+                "i" | "M" => {}
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert!(depth_per_tid.values().all(|&d| d == 0), "unbalanced B/E");
+        // Three dispatches -> three run slices on tids 100 and 101,
+        // alongside the ring-1 gate slice.
+        assert_eq!(
+            names,
+            vec!["run p0", "seg 20|0", "run p1", "run p0"],
+            "slices in dispatch order"
+        );
+        let tids: std::collections::BTreeSet<u64> = depth_per_tid.keys().copied().collect();
+        assert!(tids.contains(&1), "ring 1 track");
+        assert!(
+            tids.contains(&(u64::from(PROC_TID_BASE))),
+            "process 0 track"
+        );
+        assert!(
+            tids.contains(&(u64::from(PROC_TID_BASE) + 1)),
+            "process 1 track"
+        );
+        // The final record closes process 0's still-open run slice at
+        // the end of the run.
+        let last = events.last().unwrap();
+        assert_eq!(last.get("ph").unwrap().as_str(), Some("E"));
+        assert_eq!(last.get("ts").unwrap().as_u64(), Some(300));
+        assert_eq!(
+            last.get("tid").unwrap().as_u64(),
+            Some(u64::from(PROC_TID_BASE))
+        );
     }
 
     #[test]

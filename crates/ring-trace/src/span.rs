@@ -109,6 +109,16 @@ pub enum SpanEvent {
         /// Simulated cycles at the event.
         cycles: u64,
     },
+    /// The scheduler dispatched process `pid`: the previous process's
+    /// run slice ends here and `pid`'s begins. Scheduler slices live on
+    /// per-process tracks, orthogonal to the ring-crossing span stack,
+    /// so [`build_tree`] ignores them.
+    Sched {
+        /// Process-table index of the process now running.
+        pid: u32,
+        /// Simulated cycles at the dispatch.
+        cycles: u64,
+    },
 }
 
 impl SpanEvent {
@@ -117,7 +127,8 @@ impl SpanEvent {
         match self {
             SpanEvent::Open { cycles, .. }
             | SpanEvent::Close { cycles, .. }
-            | SpanEvent::Instant { cycles, .. } => *cycles,
+            | SpanEvent::Instant { cycles, .. }
+            | SpanEvent::Sched { cycles, .. } => *cycles,
         }
     }
 }
@@ -192,6 +203,16 @@ impl SpanRecorder {
             ring,
             cycles,
         });
+    }
+
+    /// Records a scheduler dispatch of process `pid`. No-op when
+    /// disabled.
+    #[inline]
+    pub fn sched(&mut self, pid: u32, cycles: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(SpanEvent::Sched { pid, cycles });
     }
 
     /// The events recorded so far.
@@ -295,7 +316,7 @@ pub fn build_tree(events: &[SpanEvent], final_cycles: u64) -> SpanTree {
                 }
                 None => tree.unmatched_closes += 1,
             },
-            SpanEvent::Instant { .. } => {}
+            SpanEvent::Instant { .. } | SpanEvent::Sched { .. } => {}
         }
     }
     // Cycle attribution: children precede parents in close order, so a

@@ -4,9 +4,30 @@
 //!
 //! ```text
 //! ringdbg <file.rasm> [--ring N] [--no-fastpath]
+//! ringdbg [file.rasm] --procs N [--frames N] [--quantum N]
+//!                     [--pages N] [--rounds N]
 //! ```
 //!
-//! Commands (also `help` at the prompt):
+//! With `--procs` the debugger boots the full multiprogramming kernel
+//! (see `docs/KERNEL.md`) instead of the bare world: `N` DBR-switched
+//! processes run the given program — or the built-in page-storm sweep
+//! when no file is named — under the preemptive scheduler and the
+//! `--frames` budget, and the prompt switches to the process-aware
+//! command set:
+//!
+//! ```text
+//! s [n]            step n instructions through the whole system
+//! g [n]            run until a breakpoint, halt, or n instructions
+//! r                print registers (and the owning process)
+//! b <pid|*> <seg> <w>   toggle a process-qualified breakpoint: hits
+//!                  only when the named process is the one running
+//!                  (`*` hits in any process)
+//! ps               process states (running/ready/blocked/exited)
+//! stats            scheduler counters
+//! q                quit
+//! ```
+//!
+//! Commands in single-process mode (also `help` at the prompt):
 //!
 //! ```text
 //! s [n]          step n instructions (default 1), printing each
@@ -212,12 +233,14 @@ fn rebaseline(world: &World, watchpoints: &mut [Watchpoint]) {
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let Some(file) = args.next() else {
-        eprintln!("usage: ringdbg <file.rasm> [--ring N] [--no-fastpath]");
-        return ExitCode::FAILURE;
-    };
+    let mut file = String::new();
     let mut ring = Ring::R4;
     let mut fastpath = true;
+    let mut procs = 0usize;
+    let mut frames = 16u32;
+    let mut quantum = 400u64;
+    let mut pages = 5u32;
+    let mut rounds = 30u32;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--ring" => {
@@ -234,11 +257,67 @@ fn main() -> ExitCode {
                 };
             }
             "--no-fastpath" => fastpath = false,
+            "--procs" => {
+                procs = match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--procs takes a process count >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--frames" => {
+                frames = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--frames takes a frame count (0 = unlimited)");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--quantum" => {
+                quantum = match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--quantum takes a cycle count >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--pages" => {
+                pages = match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--pages takes a page count >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--rounds" => {
+                rounds = match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--rounds takes a round count >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            f if !f.starts_with('-') && file.is_empty() => file = f.to_string(),
             other => {
                 eprintln!("unknown argument `{other}`");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if procs > 0 {
+        return debug_multiproc(&file, procs, frames, quantum, pages, rounds, fastpath);
+    }
+    if file.is_empty() {
+        eprintln!(
+            "usage: ringdbg <file.rasm> [--ring N] [--no-fastpath] | ringdbg [file.rasm] \
+             --procs N [--frames N] [--quantum N] [--pages N] [--rounds N]"
+        );
+        return ExitCode::FAILURE;
     }
     let source = match std::fs::read_to_string(&file) {
         Ok(s) => s,
@@ -577,6 +656,229 @@ fn main() -> ExitCode {
         }
     }
     flight.write_if_named(&world);
+    ExitCode::SUCCESS
+}
+
+/// The `--procs` debugger: steps the whole multiprogramming kernel and
+/// understands which process the processor is executing for, so
+/// breakpoints can be qualified by pid (the same virtual address means
+/// a different word in every address space).
+fn debug_multiproc(
+    file: &str,
+    procs: usize,
+    frames: u32,
+    quantum: u64,
+    pages: u32,
+    rounds: u32,
+    fastpath: bool,
+) -> ExitCode {
+    use multiring::os::workload::{install_page_storm, install_storm_program, StormSpec};
+    use multiring::os::{System, SystemConfig};
+
+    let spec = StormSpec {
+        procs,
+        pages,
+        rounds,
+    };
+    let cfg = SystemConfig {
+        quantum,
+        frame_budget: (frames > 0).then_some(frames),
+        fastpath,
+        ..SystemConfig::default()
+    };
+    let mut sys = System::boot_with(cfg);
+    let installed = if file.is_empty() {
+        install_page_storm(&mut sys, &spec)
+    } else {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = multiring::asm::assemble(&source) {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+        install_storm_program(&mut sys, &spec, &source)
+    };
+    sys.machine.set_timer(Some(quantum));
+    println!(
+        "kernel world: {} processes (code segment {}, paged data segment {}), \
+         {} frames, quantum {quantum}",
+        installed.len(),
+        installed[0].code_segno,
+        installed[0].data_segno,
+        frames
+    );
+
+    // (pid filter, segno, wordno); `None` pid hits in every process.
+    let mut breakpoints: Vec<(Option<usize>, u32, u32)> = Vec::new();
+    let print_where = |sys: &System| {
+        let ipr = sys.machine.ipr();
+        let pid = sys.state.borrow().current;
+        let mut line = format!(
+            "  proc {pid} at {}|{} ring {}",
+            ipr.addr.segno,
+            ipr.addr.wordno,
+            sys.machine.ring()
+        );
+        let sdw = sys.read_sdw(pid, ipr.addr.segno.value());
+        if sdw.present && sdw.unpaged {
+            if let Ok(w) = sys
+                .machine
+                .phys()
+                .peek(sdw.addr.wrapping_add(ipr.addr.wordno.value()))
+            {
+                line.push_str(&format!(": {}", disassemble_word(w)));
+            }
+        }
+        println!("{line}");
+    };
+    let bp_hit = |sys: &System, bps: &[(Option<usize>, u32, u32)]| -> bool {
+        let at = sys.machine.ipr().addr;
+        let pid = sys.state.borrow().current;
+        bps.iter().any(|&(p, s, w)| {
+            p.is_none_or(|p| p == pid) && s == at.segno.value() && w == at.wordno.value()
+        })
+    };
+    print_where(&sys);
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("ringdbg> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => {}
+            ["q"] | ["quit"] => break,
+            ["help"] | ["h"] => {
+                println!("s [n] step | g [n] run | r regs | ps processes | stats scheduler");
+                println!("b <pid|*> <seg> <w>  toggle process-qualified breakpoint | q quit");
+            }
+            ["r"] => {
+                let m = &sys.machine;
+                let pid = sys.state.borrow().current;
+                println!(
+                    "  proc {pid}  IPR ring {} at {}   A={:0>12o} Q={:0>12o}  cycles={} instrs={}",
+                    m.ring(),
+                    m.ipr().addr,
+                    m.a().raw(),
+                    m.q().raw(),
+                    m.cycles(),
+                    m.stats().instructions
+                );
+            }
+            ["s", rest @ ..] => {
+                let n: u64 = rest.first().and_then(|v| v.parse().ok()).unwrap_or(1);
+                for _ in 0..n {
+                    match sys.machine.step() {
+                        StepOutcome::Ran => {}
+                        StepOutcome::Trapped(f) => println!("  trapped: {f}"),
+                        StepOutcome::Halted => {
+                            println!("  halted (all processes done or blocked forever)");
+                            break;
+                        }
+                    }
+                }
+                print_where(&sys);
+            }
+            ["g", rest @ ..] => {
+                let n: u64 = rest
+                    .first()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(1_000_000);
+                let mut ran = 0u64;
+                for _ in 0..n {
+                    if bp_hit(&sys, &breakpoints) {
+                        println!(
+                            "  breakpoint in proc {} after {ran} instructions",
+                            sys.state.borrow().current
+                        );
+                        break;
+                    }
+                    match sys.machine.step() {
+                        StepOutcome::Ran | StepOutcome::Trapped(_) => ran += 1,
+                        StepOutcome::Halted => {
+                            println!("  halted after {ran} instructions");
+                            break;
+                        }
+                    }
+                }
+                print_where(&sys);
+            }
+            ["b", pid, seg, at] => {
+                let pid_filter = if *pid == "*" {
+                    None
+                } else {
+                    match pid.parse::<usize>() {
+                        Ok(p) if p < procs => Some(p),
+                        _ => {
+                            println!("  b <pid|*> <seg> <w> (pid < {procs})");
+                            continue;
+                        }
+                    }
+                };
+                let (Ok(seg), Ok(at)) = (seg.parse::<u32>(), at.parse::<u32>()) else {
+                    println!("  b <pid|*> <seg> <w>");
+                    continue;
+                };
+                let key = (pid_filter, seg, at);
+                let who = pid_filter.map_or("any process".to_string(), |p| format!("proc {p}"));
+                if let Some(pos) = breakpoints.iter().position(|&b| b == key) {
+                    breakpoints.remove(pos);
+                    println!("  cleared breakpoint at {seg}|{at} ({who})");
+                } else {
+                    breakpoints.push(key);
+                    println!("  set breakpoint at {seg}|{at} ({who})");
+                }
+            }
+            ["ps"] => {
+                let st = sys.state.borrow();
+                for (i, p) in st.processes.iter().enumerate() {
+                    let state = if let Some(reason) = p.aborted.as_deref() {
+                        if reason == "exit" {
+                            "exited".to_string()
+                        } else {
+                            format!("aborted ({reason})")
+                        }
+                    } else if let Some(reason) = st.sched.blocked_reason(i) {
+                        format!("blocked ({reason})")
+                    } else if st.sched.is_ready(i) {
+                        "ready".to_string()
+                    } else if st.current == i {
+                        "running".to_string()
+                    } else {
+                        "idle".to_string()
+                    };
+                    println!(
+                        "  {i}: {} state={state} faults={} preempts={}",
+                        p.user, p.page_faults, p.preemptions
+                    );
+                }
+            }
+            ["stats"] => {
+                let sc = sys.state.borrow().sched.stats;
+                println!(
+                    "  {} context switches ({} preemptions), {} minor + {} major page \
+                     faults, {} evictions, {} io blocks, {} idle cycles",
+                    sc.context_switches,
+                    sc.preemptions,
+                    sc.page_faults_minor,
+                    sc.page_faults_major,
+                    sc.evictions,
+                    sc.io_blocks,
+                    sc.idle_cycles
+                );
+            }
+            other => println!("  unknown command {other:?} (try help)"),
+        }
+    }
     ExitCode::SUCCESS
 }
 

@@ -20,9 +20,14 @@
 //! asm <file.rasm>          assemble a file into the current process
 //! run <segno> [entry]      run the current process from segno|entry
 //! cat <path>               print a stored segment's first words
-//! ps                       list processes
-//! stats                    supervisor + machine statistics, ring
-//!                          crossings and SDW-cache behaviour
+//! ps                       list processes with scheduler state
+//!                          (running/ready/blocked-with-reason/exited)
+//! storm [n] [pages] [rounds] [frames]
+//!                          run an n-process demand-paging storm under
+//!                          the preemptive scheduler (see docs/KERNEL.md)
+//! stats                    supervisor + machine statistics, scheduler
+//!                          counters, ring crossings and SDW-cache
+//!                          behaviour
 //! heatmap                  per-segment access counts (R/W/E/violations)
 //! metrics [file]           dump the full JSON snapshot (to a file, or
 //!                          the terminal)
@@ -59,6 +64,9 @@ impl Shell {
             ["help"] | ["h"] => {
                 println!("login <user> | create <path> [words...] | share <path> <user> <r|rw|re>");
                 println!("asm <file> | run <segno> [entry] | cat <path> | ps | logout | stats | heatmap | metrics [file] | tty | audit | quit");
+                println!(
+                    "storm [procs] [pages] [rounds] [frames]   run a multiprogramming page storm"
+                );
             }
             ["login", user] => {
                 let pid = self.sys.login(user);
@@ -207,11 +215,27 @@ impl Shell {
             ["ps"] => {
                 let st = self.sys.state.borrow();
                 for (i, p) in st.processes.iter().enumerate() {
+                    let state = if let Some(reason) = p.aborted.as_deref() {
+                        if reason == "exit" {
+                            "exited".to_string()
+                        } else {
+                            format!("aborted ({reason})")
+                        }
+                    } else if let Some(reason) = st.sched.blocked_reason(i) {
+                        format!("blocked ({reason})")
+                    } else if st.sched.is_ready(i) {
+                        "ready".to_string()
+                    } else if st.current == i {
+                        "running".to_string()
+                    } else {
+                        "idle".to_string()
+                    };
                     println!(
-                        "  {i}: {} segs={} state={}{}",
+                        "  {i}: {} segs={} state={state} faults={} preempts={}{}",
                         p.user,
                         p.kst.len(),
-                        p.aborted.as_deref().unwrap_or("runnable"),
+                        p.page_faults,
+                        p.preemptions,
                         if Some(i) == self.current {
                             "  *current*"
                         } else {
@@ -222,6 +246,43 @@ impl Shell {
                 if st.processes.is_empty() {
                     println!("  (no processes)");
                 }
+            }
+            ["storm", rest @ ..] => {
+                // A canned multiprogramming demonstration: N processes
+                // sweeping private paged segments under a frame budget.
+                let procs: usize = rest.first().and_then(|v| v.parse().ok()).unwrap_or(4);
+                let pages: u32 = rest.get(1).and_then(|v| v.parse().ok()).unwrap_or(5);
+                let rounds: u32 = rest.get(2).and_then(|v| v.parse().ok()).unwrap_or(10);
+                let frames: u32 = rest.get(3).and_then(|v| v.parse().ok()).unwrap_or(16);
+                if procs == 0 || u64::from(pages) * 1024 <= 4096 {
+                    println!(
+                        "  storm [procs>=1] [pages>=5] [rounds] [frames] (segments must page)"
+                    );
+                    return true;
+                }
+                {
+                    // First storm decides the frame budget; later ones
+                    // keep the pool (frames may already hold pages).
+                    let mut st = self.sys.state.borrow_mut();
+                    if st.frames.is_none() && frames > 0 {
+                        st.frames = Some(multiring::segmem::FramePool::new(frames));
+                    }
+                }
+                let spec = multiring::os::workload::StormSpec {
+                    procs,
+                    pages,
+                    rounds,
+                };
+                let installed = multiring::os::workload::install_page_storm(&mut self.sys, &spec);
+                let quantum = self.sys.state.borrow().quantum;
+                self.sys.machine.set_timer(Some(quantum));
+                let exit = self.sys.machine.run(5_000_000);
+                println!(
+                    "  {exit:?} after {} cycles; {} storm processes (see ps / stats)",
+                    self.sys.machine.cycles(),
+                    installed.len()
+                );
+                self.current = Some(installed[0].pid);
             }
             ["stats"] => {
                 let s = self.sys.stats();
@@ -253,6 +314,18 @@ impl Shell {
                         crossings.join(", ")
                     },
                     snap.ring_changes
+                );
+                let sc = self.sys.state.borrow().sched.stats;
+                println!(
+                    "  scheduler: {} context switches ({} preemptions), {} minor + {} major \
+                     page faults, {} evictions, {} io blocks, {} idle cycles",
+                    sc.context_switches,
+                    sc.preemptions,
+                    sc.page_faults_minor,
+                    sc.page_faults_major,
+                    sc.evictions,
+                    sc.io_blocks,
+                    sc.idle_cycles
                 );
                 let cs = self.sys.machine.sdw_cache_stats();
                 println!(

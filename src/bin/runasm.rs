@@ -6,6 +6,8 @@
 //!                    [--no-fastpath] [--metrics-out <file.json|file.csv>]
 //!                    [--trace-out <file.json>] [--record <file>]
 //!                    [--replay <file>] [--checkpoint-every N]
+//!                    [--procs N] [--quantum N] [--frames N]
+//!                    [--pages N] [--rounds N]
 //! ```
 //!
 //! The program is loaded into segment 10 of a bare world (standard
@@ -31,6 +33,27 @@
 //! * `--replay <file>` — re-run a recording in a world rebuilt from the
 //!   same program and verify it bit-for-bit (final registers, memory,
 //!   cycles, I/O timeline). Exits nonzero on divergence.
+//!
+//! Multiprogramming options (see `docs/KERNEL.md`):
+//!
+//! * `--procs N` — boot the full kernel instead of the bare world and
+//!   run `N` processes, each in its own DBR-switched address space,
+//!   under the preemptive round-robin scheduler. Each process gets a
+//!   private paged data segment (segment 64, `--pages` pages) and runs
+//!   a copy of `<file.rasm>` — or, when no file is given, the built-in
+//!   page-storm sweep (`--rounds` rounds over every page). Exits
+//!   nonzero unless every process runs to a clean `drl 0o777` exit.
+//! * `--quantum N` — timer quantum in cycles (default 400).
+//! * `--frames N` — physical-frame budget for demand paging; faults
+//!   beyond the budget evict by CLOCK to a simulated drum (default 16;
+//!   0 means unlimited, no paging pressure).
+//! * `--pages N`, `--rounds N` — page-storm shape (defaults 5 and 30).
+//!
+//! `--record`/`--replay`, `--metrics-out` and `--trace-out` compose
+//! with `--procs`: recordings replay bit-identically including every
+//! timer-interrupt delivery point, the metrics snapshot gains the
+//! `scheduler` section, and the Perfetto export gains one track per
+//! process.
 
 use std::process::ExitCode;
 
@@ -45,7 +68,7 @@ use multiring::trace::Recording;
 struct Options {
     file: String,
     ring: u8,
-    budget: u64,
+    budget: Option<u64>,
     trace: bool,
     disasm: bool,
     fastpath: bool,
@@ -54,6 +77,11 @@ struct Options {
     record: Option<String>,
     replay: Option<String>,
     checkpoint_every: u64,
+    procs: usize,
+    quantum: u64,
+    frames: u32,
+    pages: u32,
+    rounds: u32,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -61,7 +89,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         file: String::new(),
         ring: 4,
-        budget: 100_000,
+        budget: None,
         trace: false,
         disasm: false,
         fastpath: true,
@@ -70,6 +98,11 @@ fn parse_args() -> Result<Options, String> {
         record: None,
         replay: None,
         checkpoint_every: multiring::cpu::DEFAULT_CHECKPOINT_EVERY,
+        procs: 0,
+        quantum: 400,
+        frames: 16,
+        pages: 5,
+        rounds: 30,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -81,10 +114,11 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--ring takes a number 0..=7")?;
             }
             "--budget" => {
-                opts.budget = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--budget takes an instruction count")?;
+                opts.budget = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--budget takes an instruction count")?,
+                );
             }
             "--trace" => opts.trace = true,
             "--disasm" => opts.disasm = true,
@@ -107,11 +141,46 @@ fn parse_args() -> Result<Options, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--checkpoint-every takes a cycle count")?;
             }
+            "--procs" => {
+                opts.procs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--procs takes a process count >= 1")?;
+            }
+            "--quantum" => {
+                opts.quantum = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--quantum takes a cycle count >= 1")?;
+            }
+            "--frames" => {
+                opts.frames = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--frames takes a frame count (0 = unlimited)")?;
+            }
+            "--pages" => {
+                opts.pages = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--pages takes a page count >= 1")?;
+            }
+            "--rounds" => {
+                opts.rounds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--rounds takes a round count >= 1")?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm] \
                      [--no-fastpath] [--metrics-out <file>] [--trace-out <file.json>] \
-                     [--record <file>] [--replay <file>] [--checkpoint-every N]"
+                     [--record <file>] [--replay <file>] [--checkpoint-every N] \
+                     [--procs N [--quantum N] [--frames N] [--pages N] [--rounds N]]"
                         .to_string(),
                 )
             }
@@ -119,7 +188,7 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if opts.file.is_empty() {
+    if opts.file.is_empty() && opts.procs == 0 {
         return Err("no input file (try --help)".to_string());
     }
     if opts.record.is_some() && opts.replay.is_some() {
@@ -136,6 +205,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.procs > 0 {
+        return run_multiproc(&opts);
+    }
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {
@@ -232,9 +304,10 @@ fn main() -> ExitCode {
         };
     }
 
+    let budget = opts.budget.unwrap_or(100_000);
     let exit = if opts.record.is_some() {
         let mut rec = Recorder::start(&world.machine, &opts.file, opts.checkpoint_every);
-        let exit = multiring::cpu::run_recorded(&mut world.machine, opts.budget, &mut rec);
+        let exit = multiring::cpu::run_recorded(&mut world.machine, budget, &mut rec);
         let recording = rec.finish(&world.machine);
         let path = opts.record.as_deref().expect("checked");
         if let Err(e) = std::fs::write(path, recording.to_json()) {
@@ -248,7 +321,7 @@ fn main() -> ExitCode {
         );
         exit
     } else {
-        world.machine.run(opts.budget)
+        world.machine.run(budget)
     };
 
     if opts.trace {
@@ -267,6 +340,189 @@ fn main() -> ExitCode {
     );
     finish(&world, &opts);
     ExitCode::SUCCESS
+}
+
+/// The `--procs` branch: boot the full kernel and multiplex N
+/// DBR-switched processes over the one simulated processor, with
+/// demand paging under the `--frames` budget.
+fn run_multiproc(opts: &Options) -> ExitCode {
+    use multiring::cpu::machine::RunExit;
+    use multiring::os::workload::{install_page_storm, install_storm_program, StormSpec};
+    use multiring::os::{System, SystemConfig};
+
+    let spec = StormSpec {
+        procs: opts.procs,
+        pages: opts.pages,
+        rounds: opts.rounds,
+    };
+    let source = if opts.file.is_empty() {
+        None
+    } else {
+        let text = match std::fs::read_to_string(&opts.file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", opts.file);
+                return ExitCode::FAILURE;
+            }
+        };
+        // Assemble once up front for a readable diagnostic; the
+        // installer assembles again per process.
+        if let Err(e) = multiring::asm::assemble(&text) {
+            eprintln!("{}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+        Some(text)
+    };
+    // Building the world is deterministic, so a recording made in one
+    // build replays bit-for-bit in another.
+    let build = || {
+        let cfg = SystemConfig {
+            quantum: opts.quantum,
+            frame_budget: (opts.frames > 0).then_some(opts.frames),
+            fastpath: opts.fastpath,
+            ..SystemConfig::default()
+        };
+        let mut sys = System::boot_with(cfg);
+        let procs = match &source {
+            Some(text) => install_storm_program(&mut sys, &spec, text),
+            None => install_page_storm(&mut sys, &spec),
+        };
+        if opts.metrics_out.is_some() {
+            sys.enable_metrics();
+        }
+        if opts.trace_out.is_some() {
+            sys.enable_spans();
+        }
+        sys.machine.set_timer(Some(opts.quantum));
+        (sys, procs)
+    };
+    let (mut sys, procs) = build();
+    let budget = opts.budget.unwrap_or(5_000_000);
+
+    let exit = if let Some(path) = &opts.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let recording = match Recording::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = match multiring::cpu::replay(&mut sys.machine, &recording) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if report.ok {
+            println!(
+                "replay OK: {} instructions, {} cycles, bit-identical final image",
+                report.instructions, report.cycles
+            );
+        } else {
+            eprintln!(
+                "replay DIVERGED: {}",
+                report.mismatch.as_deref().unwrap_or("unknown")
+            );
+            return ExitCode::FAILURE;
+        }
+        RunExit::Halted
+    } else if opts.record.is_some() {
+        let name = if opts.file.is_empty() {
+            "page-storm"
+        } else {
+            opts.file.as_str()
+        };
+        let mut rec = Recorder::start(&sys.machine, name, opts.checkpoint_every);
+        let exit = multiring::cpu::run_recorded(&mut sys.machine, budget, &mut rec);
+        let recording = rec.finish(&sys.machine);
+        let path = opts.record.as_deref().expect("checked");
+        if let Err(e) = std::fs::write(path, recording.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "recorded: {} checkpoints, {} I/O completions -> {path}",
+            recording.checkpoints.len(),
+            recording.io_events.len()
+        );
+        exit
+    } else {
+        sys.machine.run(budget)
+    };
+
+    let mut all_ok = exit == RunExit::Halted;
+    {
+        let st = sys.state.borrow();
+        for p in &procs {
+            let ps = &st.processes[p.pid];
+            let status = match ps.aborted.as_deref() {
+                Some("exit") => "exited".to_string(),
+                Some(r) => {
+                    all_ok = false;
+                    format!("ABORTED ({r})")
+                }
+                None => {
+                    all_ok = false;
+                    "UNFINISHED (out of budget)".to_string()
+                }
+            };
+            println!(
+                "proc {}: {status}  page-faults={}  preemptions={}",
+                p.pid, ps.page_faults, ps.preemptions
+            );
+        }
+        let sc = st.sched.stats;
+        println!(
+            "sched: {} context switches ({} preemptions), {} minor + {} major page \
+             faults, {} evictions, {} idle cycles",
+            sc.context_switches,
+            sc.preemptions,
+            sc.page_faults_minor,
+            sc.page_faults_major,
+            sc.evictions,
+            sc.idle_cycles
+        );
+    }
+    println!(
+        "exit: {exit:?}  cycles={}  instructions={}",
+        sys.machine.cycles(),
+        sys.machine.stats().instructions
+    );
+    if let Some(path) = &opts.metrics_out {
+        let snap = sys.metrics_snapshot();
+        let body = if path.ends_with(".csv") {
+            snap.to_csv()
+        } else {
+            snap.to_json()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics -> {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        let m = &sys.machine;
+        let doc = multiring::trace::perfetto::chrome_trace_json(m.spans().events(), m.cycles());
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("trace -> {path} (load in ui.perfetto.dev)");
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// Writes the post-run artifacts (metrics snapshot, Perfetto trace).

@@ -19,6 +19,9 @@
 //! * [`os`] (`ring-os`) — ACLs, processes, a layered supervisor (rings
 //!   0–1), user protected subsystems (ring 2), and the evaluation
 //!   baselines (645-style software rings; two-mode machine).
+//! * [`sched`] (`ring-sched`) — processor multiplexing: the ready/
+//!   blocked queues and counters behind the preemptive round-robin
+//!   scheduler in `ring-os`.
 //! * [`metrics`] (`ring-metrics`) — the observability layer: ring-
 //!   crossing telemetry, fault accounting, cycle histograms, per-segment
 //!   heatmaps, and JSON/CSV export (see `docs/OBSERVABILITY.md`).
@@ -52,5 +55,6 @@ pub use ring_core as core;
 pub use ring_cpu as cpu;
 pub use ring_metrics as metrics;
 pub use ring_os as os;
+pub use ring_sched as sched;
 pub use ring_segmem as segmem;
 pub use ring_trace as trace;
