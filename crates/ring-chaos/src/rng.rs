@@ -1,0 +1,139 @@
+//! The chaos generator: an inline xoshiro256** with fully exportable
+//! state.
+//!
+//! The vendored `rand` stand-in cannot expose its internal state, and
+//! chaos state must serialize into machine images so that record,
+//! replay and `seek` all see the identical fault stream. Hence this
+//! small, well-known generator (Blackman & Vigna's xoshiro256**,
+//! public domain) with its four state words available for export.
+
+use crate::plan::ChaosKind;
+
+/// Deterministic PRNG with exportable `[u64; 4]` state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosRng {
+    s: [u64; 4],
+}
+
+/// One round of SplitMix64, used to expand a 64-bit seed into the
+/// four xoshiro state words (the construction its authors recommend).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaosRng {
+    /// Expands `seed` into a full generator state via SplitMix64.
+    pub fn seeded(seed: u64) -> ChaosRng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in s.iter_mut() {
+            *w = splitmix64(&mut sm);
+        }
+        // All-zero state is the one degenerate case; SplitMix64 cannot
+        // produce four zeros from any seed, but keep the guard local.
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        ChaosRng { s }
+    }
+
+    /// Rebuilds a generator from exported state.
+    pub fn from_state(s: [u64; 4]) -> ChaosRng {
+        ChaosRng { s }
+    }
+
+    /// The current state words (for image export).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// The next 64-bit output (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A value uniformly below `n` (modulo bias is irrelevant here:
+    /// the draw only has to be deterministic, not statistically pure).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Draws a fault kind from the campaign's weighted table.
+    pub fn pick_kind(&mut self) -> ChaosKind {
+        let total: u32 = ChaosKind::ALL.iter().map(|k| k.weight()).sum();
+        let mut draw = self.below(u64::from(total)) as u32;
+        for kind in ChaosKind::ALL {
+            if draw < kind.weight() {
+                return kind;
+            }
+            draw -= kind.weight();
+        }
+        ChaosKind::MemParity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = ChaosRng::seeded(7);
+        let mut b = ChaosRng::seeded(7);
+        let mut c = ChaosRng::seeded(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut a = ChaosRng::seeded(1234);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut b = ChaosRng::from_state(a.state());
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn pick_kind_reaches_every_kind() {
+        let mut rng = ChaosRng::seeded(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            seen.insert(rng.pick_kind());
+        }
+        assert_eq!(seen.len(), ChaosKind::ALL.len());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = ChaosRng::seeded(9);
+        for n in [1u64, 2, 3, 17, 1000] {
+            for _ in 0..100 {
+                assert!(rng.below(n) < n);
+            }
+        }
+        assert_eq!(
+            rng.below(0),
+            0,
+            "below(0) clamps instead of dividing by zero"
+        );
+    }
+}

@@ -155,6 +155,23 @@ pub enum Fault {
     },
     /// Execution reached a HALT instruction in ring 0 (orderly stop).
     Halt,
+    /// A parity check failed on a word read from core memory: the word
+    /// was damaged (by real hardware, or by the chaos harness) and its
+    /// contents cannot be trusted. Carries the absolute address so the
+    /// supervisor can attempt recovery — refetch the page, salvage the
+    /// descriptor segment, or confine the damage to one process.
+    ParityError {
+        /// Absolute address of the damaged word.
+        abs: u32,
+    },
+    /// An I/O channel failed: the controller reported an error, or the
+    /// channel's completion never arrived and the watchdog expired.
+    IoError {
+        /// Channel number that failed.
+        channel: u8,
+        /// Controller-specific error code (`0o1` = watchdog timeout).
+        code: u32,
+    },
 }
 
 impl Fault {
@@ -193,11 +210,13 @@ impl Fault {
             Fault::IoCompletion { .. } => vector::IO_COMPLETION,
             Fault::PhysicalBounds { .. } => vector::PHYSICAL_BOUNDS,
             Fault::Halt => vector::HALT,
+            Fault::ParityError { .. } => vector::PARITY_ERROR,
+            Fault::IoError { .. } => vector::IO_ERROR,
         }
     }
 
     /// Number of distinct trap vectors.
-    pub const NUM_VECTORS: u32 = 14;
+    pub const NUM_VECTORS: u32 = 16;
 }
 
 /// Named trap vector numbers (see [`Fault::vector`]).
@@ -230,6 +249,10 @@ pub mod vector {
     pub const PHYSICAL_BOUNDS: u32 = 12;
     /// Orderly halt.
     pub const HALT: u32 = 13;
+    /// Core-memory parity error (damaged word).
+    pub const PARITY_ERROR: u32 = 14;
+    /// I/O channel error (controller failure or watchdog timeout).
+    pub const IO_ERROR: u32 = 15;
 }
 
 impl fmt::Display for Fault {
@@ -265,6 +288,12 @@ impl fmt::Display for Fault {
             Fault::IoCompletion { channel } => write!(f, "I/O completion on channel {channel}"),
             Fault::PhysicalBounds { abs } => write!(f, "physical address {abs:#o} out of range"),
             Fault::Halt => f.write_str("halt"),
+            Fault::ParityError { abs } => {
+                write!(f, "parity error at absolute address {abs:#o}")
+            }
+            Fault::IoError { channel, code } => {
+                write!(f, "I/O error on channel {channel} (code {code:#o})")
+            }
         }
     }
 }
@@ -311,6 +340,11 @@ mod tests {
             Fault::IoCompletion { channel: 1 },
             Fault::PhysicalBounds { abs: 0 },
             Fault::Halt,
+            Fault::ParityError { abs: 0o1234 },
+            Fault::IoError {
+                channel: 2,
+                code: 1,
+            },
         ];
         let mut seen = std::collections::HashSet::new();
         for fa in faults {

@@ -214,6 +214,13 @@ impl Machine {
         let fetch = self
             .tr
             .fast_probe(&self.phys, iaddr, at0.ring, AccessMode::Execute)?;
+        // Peeks are poison-blind, so every word the fast path consumes
+        // must be checked explicitly: a poisoned word bails to the slow
+        // path, whose counted read raises the parity-error trap at the
+        // identical instruction.
+        if self.phys.is_poisoned(fetch.abs) {
+            return None;
+        }
         let iword = self.phys.peek(fetch.abs).ok()?;
         // The cache also answers eligibility: the privileged group and
         // DRL (and, below, CALL/RETURN/SPRI) keep their reference
@@ -247,6 +254,9 @@ impl Machine {
                         let hit =
                             self.tr
                                 .fast_probe(&self.phys, ea.addr, ea.ring, AccessMode::Read)?;
+                        if self.phys.is_poisoned(hit.abs) {
+                            return None;
+                        }
                         let v = self.phys.peek(hit.abs).ok()?;
                         reads += hit.ptw_reads + 1;
                         lookups += 1;
@@ -299,6 +309,9 @@ impl Machine {
                     return None;
                 }
                 let hw = self.tr.fast_probe_rw(&self.phys, ea.addr, ea.ring)?;
+                if self.phys.is_poisoned(hw.abs) {
+                    return None;
+                }
                 let v = self.phys.peek(hw.abs).ok()?.wrapping_add(Word::new(1));
                 reads += hw.ptw_reads + 1;
                 lookups += 1;
@@ -421,6 +434,9 @@ impl Machine {
             let hit1 = self
                 .tr
                 .fast_probe(&self.phys, second, ring, AccessMode::Read)?;
+            if self.phys.is_poisoned(hit0.abs) || self.phys.is_poisoned(hit1.abs) {
+                return None;
+            }
             let w0 = self.phys.peek(hit0.abs).ok()?;
             let w1 = self.phys.peek(hit1.abs).ok()?;
             *reads += hit0.ptw_reads + hit1.ptw_reads + 2;

@@ -37,7 +37,7 @@ use crate::machine::{ExecStats, Machine};
 
 /// Identifies the image encoding (bumped on layout changes).
 const MAGIC: u64 = 0x52_49_4E_47_49_4D_47; // "RINGIMG"
-const VERSION: u64 = 1;
+const VERSION: u64 = 2; // v2 appends chaos state (engine, poison, vetoes)
 
 /// An opaque, complete snapshot of a machine's architectural state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +111,8 @@ fn pack_fault(fault: &Fault) -> [u64; 4] {
         Fault::IoCompletion { channel } => [11, u64::from(*channel), 0, 0],
         Fault::PhysicalBounds { abs } => [12, u64::from(*abs), 0, 0],
         Fault::Halt => [13, 0, 0, 0],
+        Fault::ParityError { abs } => [14, u64::from(*abs), 0, 0],
+        Fault::IoError { channel, code } => [15, u64::from(*channel), u64::from(*code), 0],
     }
 }
 
@@ -170,6 +172,11 @@ fn unpack_fault(f: &[u64; 4]) -> Result<Fault, String> {
         },
         12 => Fault::PhysicalBounds { abs: f[1] as u32 },
         13 => Fault::Halt,
+        14 => Fault::ParityError { abs: f[1] as u32 },
+        15 => Fault::IoError {
+            channel: f[1] as u8,
+            code: f[2] as u32,
+        },
         t => return Err(format!("bad fault tag {t}")),
     })
 }
@@ -288,6 +295,26 @@ impl Machine {
                 }
             }
         }
+        // Chaos state (v2): the injection engine, poisoned physical
+        // words, and fast-path degradation vetoes. All deterministic
+        // simulated state, so replay must resume them exactly.
+        let engine = self.chaos.export_words();
+        w.push(engine.len() as u64);
+        w.extend(engine);
+        let poison = self.phys.poison_export();
+        w.push(poison.len() as u64);
+        w.extend(poison.iter().map(|&a| u64::from(a)));
+        w.push(self.phys.repaired_count());
+        w.push(u64::from(self.phys.high_water()));
+        let (veto_segs, veto_global) = self.tr.fast_veto_export();
+        w.push(veto_segs.len() as u64);
+        w.extend(veto_segs.iter().map(|&s| u64::from(s)));
+        w.push(u64::from(veto_global));
+        w.push(self.chaos_protect.len() as u64);
+        for &(lo, hi) in &self.chaos_protect {
+            w.push(u64::from(lo));
+            w.push(u64::from(hi));
+        }
         MachineImage { words: w }
     }
 
@@ -368,6 +395,28 @@ impl Machine {
                 entries.push(Some((segno, Sdw::unpack(s0, s1))));
             }
         }
+        let engine_len = r.take()? as usize;
+        let engine_words = r.take_n(engine_len)?;
+        let mut engine_it = engine_words.iter().copied();
+        let chaos = ring_chaos::ChaosEngine::restore_words(&mut || engine_it.next())
+            .ok_or("malformed chaos-engine state in machine image")?;
+        if engine_it.next().is_some() {
+            return Err("trailing chaos-engine words in machine image".to_string());
+        }
+        let poison_len = r.take()? as usize;
+        let poison: Vec<u32> = r.take_n(poison_len)?.iter().map(|&a| a as u32).collect();
+        let repaired = r.take()?;
+        let high_water = r.take()? as u32;
+        let veto_len = r.take()? as usize;
+        let veto_segs: Vec<u32> = r.take_n(veto_len)?.iter().map(|&s| s as u32).collect();
+        let veto_global = r.take()? != 0;
+        let protect_len = r.take()? as usize;
+        let mut chaos_protect = Vec::with_capacity(protect_len);
+        for _ in 0..protect_len {
+            let lo = r.take()? as u32;
+            let hi = r.take()? as u32;
+            chaos_protect.push((lo, hi));
+        }
         if r.pos != image.words.len() {
             return Err("trailing data in machine image".to_string());
         }
@@ -420,7 +469,11 @@ impl Machine {
                 .expect("bounds pre-checked");
         }
         self.phys.restore_counters(reads, writes);
+        self.phys.restore_chaos_state(&poison, repaired, high_water);
+        self.chaos_protect = chaos_protect;
         self.io.restore_words(&io_words)?;
+        self.chaos = chaos;
+        self.tr.fast_veto_restore(&veto_segs, veto_global);
         self.tr.restore_cache_state(&SdwCacheState {
             entries,
             next_victim,
@@ -466,6 +519,11 @@ mod tests {
             Fault::IoCompletion { channel: 7 },
             Fault::PhysicalBounds { abs: 0xFF_FFFF },
             Fault::Halt,
+            Fault::ParityError { abs: 0o1234 },
+            Fault::IoError {
+                channel: 2,
+                code: 0o1,
+            },
         ];
         for f in faults {
             assert_eq!(unpack_fault(&pack_fault(&f)).unwrap(), f, "{f:?}");

@@ -36,6 +36,16 @@ pub const CYCLES_PER_WORD: u64 = 2;
 /// Fixed channel start-up latency in cycles.
 pub const CHANNEL_LATENCY: u64 = 8;
 
+/// Cycles past a transfer's completion time before the channel watchdog
+/// concludes the completion interrupt was lost and raises an I/O-error
+/// trap instead. Generous relative to [`CYCLES_PER_WORD`] so a watchdog
+/// can never fire while its completion is still legitimately pending.
+pub const WATCHDOG_MARGIN: u64 = 64;
+
+/// I/O-error code reported when a channel watchdog expires (the
+/// completion interrupt was lost).
+pub const IO_ERROR_WATCHDOG: u32 = 0o1;
+
 /// Direction of a channel transfer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Direction {
@@ -87,6 +97,13 @@ pub struct IoSystem {
     /// Number of occupied `inflight` slots, so the between-instructions
     /// completion poll is O(1) on the (overwhelmingly common) idle case.
     busy_count: u32,
+    /// Chaos arm: the next completion performs its transfer but drops
+    /// the interrupt, leaving a watchdog in its place.
+    lose_next: bool,
+    /// Per-channel watchdog deadlines, set when a completion interrupt
+    /// was lost. Expiry surfaces as an I/O-error trap so a waiter is
+    /// never stranded forever.
+    watchdogs: Vec<Option<u64>>,
 }
 
 impl IoSystem {
@@ -96,6 +113,8 @@ impl IoSystem {
             devices: (0..NUM_CHANNELS).map(|_| TtyDevice::default()).collect(),
             inflight: vec![None; NUM_CHANNELS],
             busy_count: 0,
+            lose_next: false,
+            watchdogs: vec![None; NUM_CHANNELS],
         }
     }
 
@@ -129,6 +148,7 @@ impl IoSystem {
         self.inflight
             .iter()
             .filter_map(|op| op.as_ref().map(|o| o.done_at))
+            .chain(self.watchdogs.iter().flatten().copied())
             .min()
     }
 
@@ -140,7 +160,42 @@ impl IoSystem {
     ///
     /// Panics if `channel >= NUM_CHANNELS`.
     pub fn channel_done_at(&self, channel: usize) -> Option<u64> {
-        self.inflight[channel].as_ref().map(|o| o.done_at)
+        match (
+            self.inflight[channel].as_ref().map(|o| o.done_at),
+            self.watchdogs[channel],
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Chaos arm: the next matured completion performs its data
+    /// transfer but drops the completion interrupt, leaving only the
+    /// channel watchdog to report the loss.
+    pub fn lose_next_completion(&mut self) {
+        self.lose_next = true;
+    }
+
+    /// True while a loss is armed but has not yet claimed a completion.
+    pub fn completion_loss_armed(&self) -> bool {
+        self.lose_next
+    }
+
+    /// Number of channels with an expired-or-pending watchdog.
+    pub fn pending_watchdogs(&self) -> u32 {
+        self.watchdogs.iter().flatten().count() as u32
+    }
+
+    /// If a channel's watchdog has expired by `now`, clears it and
+    /// returns the channel (the machine then raises an I/O-error trap
+    /// with the watchdog code). At most one expiry per call.
+    pub fn take_watchdog_expiry(&mut self, now: u64) -> Option<u8> {
+        let idx = self
+            .watchdogs
+            .iter()
+            .position(|d| matches!(d, Some(t) if *t <= now))?;
+        self.watchdogs[idx] = None;
+        Some(idx as u8)
     }
 
     /// Starts a channel from the two SIO operand words at simulated
@@ -183,28 +238,38 @@ impl IoSystem {
     }
 
     fn take_completion_slow(&mut self, now: u64, phys: &mut PhysMem) -> Option<u8> {
-        let idx = self
-            .inflight
-            .iter()
-            .position(|op| matches!(op, Some(o) if o.done_at <= now))?;
-        let op = self.inflight[idx].take().expect("checked above");
-        self.busy_count -= 1;
-        let dev = &mut self.devices[idx];
-        match op.direction {
-            Direction::Output => {
-                for i in 0..op.count {
-                    let w = phys.read(op.abs.wrapping_add(i)).unwrap_or(Word::ZERO);
-                    dev.output.push(w);
+        loop {
+            let idx = self
+                .inflight
+                .iter()
+                .position(|op| matches!(op, Some(o) if o.done_at <= now))?;
+            let op = self.inflight[idx].take()?;
+            self.busy_count -= 1;
+            let dev = &mut self.devices[idx];
+            match op.direction {
+                Direction::Output => {
+                    for i in 0..op.count {
+                        let w = phys.read(op.abs.wrapping_add(i)).unwrap_or(Word::ZERO);
+                        dev.output.push(w);
+                    }
+                }
+                Direction::Input => {
+                    for i in 0..op.count {
+                        let w = dev.input.pop_front().unwrap_or(Word::ZERO);
+                        let _ = phys.write(op.abs.wrapping_add(i), w);
+                    }
                 }
             }
-            Direction::Input => {
-                for i in 0..op.count {
-                    let w = dev.input.pop_front().unwrap_or(Word::ZERO);
-                    let _ = phys.write(op.abs.wrapping_add(i), w);
-                }
+            if self.lose_next {
+                // The data moved; only the interrupt vanishes. Arm the
+                // watchdog and keep looking — another matured channel
+                // may still deliver normally this cycle.
+                self.lose_next = false;
+                self.watchdogs[idx] = Some(op.done_at + WATCHDOG_MARGIN);
+                continue;
             }
+            return Some(idx as u8);
         }
-        Some(idx as u8)
     }
 
     /// Serializes the complete I/O state — device queues and in-flight
@@ -227,6 +292,16 @@ impl IoSystem {
                         Direction::Input => 1,
                     });
                     out.push(o.done_at);
+                }
+            }
+        }
+        out.push(u64::from(self.lose_next));
+        for dog in &self.watchdogs {
+            match dog {
+                None => out.push(0),
+                Some(t) => {
+                    out.push(1);
+                    out.push(*t);
                 }
             }
         }
@@ -269,12 +344,23 @@ impl IoSystem {
                 busy_count += 1;
             }
         }
+        let lose_next = next(1)?[0] != 0;
+        let mut watchdogs = Vec::with_capacity(NUM_CHANNELS);
+        for _ in 0..NUM_CHANNELS {
+            if next(1)?[0] == 0 {
+                watchdogs.push(None);
+            } else {
+                watchdogs.push(Some(next(1)?[0]));
+            }
+        }
         if pos != words.len() {
             return Err("trailing data in I/O image".to_string());
         }
         self.devices = devices;
         self.inflight = inflight;
         self.busy_count = busy_count;
+        self.lose_next = lose_next;
+        self.watchdogs = watchdogs;
         Ok(())
     }
 
@@ -394,6 +480,51 @@ mod tests {
             assert_eq!(p1.peek(a).unwrap(), p2.peek(a).unwrap());
         }
         assert!(fresh.restore_words(&words[..words.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn lost_completion_transfers_data_but_trips_watchdog() {
+        let mut io = IoSystem::new();
+        let mut phys = PhysMem::new(64);
+        io.device_mut(2).type_line("x");
+        let (w0, w1) = IoSystem::channel_program(2, Direction::Input, AbsAddr::new(0).unwrap(), 1);
+        io.start(w0, w1, 0).unwrap();
+        io.lose_next_completion();
+        let done = CHANNEL_LATENCY + CYCLES_PER_WORD;
+        // The completion interrupt is swallowed...
+        assert_eq!(io.take_completion(done, &mut phys), None);
+        assert!(!io.busy(2));
+        // ...but the data still moved,
+        assert_eq!(
+            phys.peek(AbsAddr::new(0).unwrap()).unwrap().raw(),
+            u64::from(b'x')
+        );
+        // and the watchdog stands in for the missing interrupt.
+        assert_eq!(io.pending_watchdogs(), 1);
+        assert_eq!(io.channel_done_at(2), Some(done + WATCHDOG_MARGIN));
+        assert_eq!(io.next_done_at(), Some(done + WATCHDOG_MARGIN));
+        assert_eq!(io.take_watchdog_expiry(done + WATCHDOG_MARGIN - 1), None);
+        assert_eq!(io.take_watchdog_expiry(done + WATCHDOG_MARGIN), Some(2));
+        assert_eq!(io.pending_watchdogs(), 0);
+        assert_eq!(io.take_watchdog_expiry(u64::MAX), None);
+    }
+
+    #[test]
+    fn watchdog_state_round_trips_through_export() {
+        let mut io = IoSystem::new();
+        let mut phys = PhysMem::new(64);
+        let (w0, w1) = IoSystem::channel_program(1, Direction::Output, AbsAddr::new(0).unwrap(), 1);
+        io.start(w0, w1, 0).unwrap();
+        io.lose_next_completion();
+        assert_eq!(io.take_completion(u64::MAX >> 1, &mut phys), None);
+        io.lose_next_completion(); // still armed, nothing in flight
+
+        let words = io.export_words();
+        let mut fresh = IoSystem::new();
+        fresh.restore_words(&words).unwrap();
+        assert!(fresh.completion_loss_armed());
+        assert_eq!(fresh.pending_watchdogs(), 1);
+        assert_eq!(fresh.channel_done_at(1), io.channel_done_at(1));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod callret;
+mod chaos;
 pub mod ea;
 pub mod exec;
 mod fastpath;
@@ -47,6 +48,7 @@ pub use isa::{AddrMode, Instr, Opcode, OperandUse};
 pub use machine::{CostModel, ExecStats, Machine, MachineConfig, RunExit, StepOutcome};
 pub use native::{NativeAction, NativeFn, NativeRegistry};
 pub use recorder::{replay, run_recorded, seek, Recorder, ReplayReport, DEFAULT_CHECKPOINT_EVERY};
+pub use ring_chaos::{ChaosEngine, ChaosKind, FaultPlan};
 pub use ring_metrics::{Crossing, FastPathStats, Metrics, MetricsSnapshot, SdwCacheStats};
 pub use ring_trace::{SpanEvent, SpanKey, SpanKind, SpanRecorder};
 pub use trace::TraceEvent;

@@ -223,6 +223,8 @@ pub struct Machine {
     pub(crate) extra_cycles: u64,
     pub(crate) fast: crate::fastpath::FastState,
     pub(crate) spans: ring_trace::SpanRecorder,
+    pub(crate) chaos: ring_chaos::ChaosEngine,
+    pub(crate) chaos_protect: Vec<(u32, u32)>,
 }
 
 impl Machine {
@@ -258,6 +260,8 @@ impl Machine {
             extra_cycles: 0,
             fast: crate::fastpath::FastState::new(),
             spans: ring_trace::SpanRecorder::new(),
+            chaos: ring_chaos::ChaosEngine::off(),
+            chaos_protect: Vec::new(),
         }
     }
 
@@ -500,7 +504,7 @@ impl Machine {
     /// statistics.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let cs = self.tr.cache_stats();
-        MetricsSnapshot::new(
+        let mut snap = MetricsSnapshot::new(
             &self.metrics,
             self.stats.instructions,
             self.cycles,
@@ -511,7 +515,20 @@ impl Machine {
                 invalidations: cs.invalidations,
             },
             self.fastpath_stats(),
-        )
+        );
+        if self.chaos.enabled() {
+            for (k, v) in self.chaos.export_pairs() {
+                snap.push_extra(k, v);
+            }
+            snap.push_extra("chaos.repaired", self.phys.repaired_count());
+            snap.push_extra(
+                "chaos.latent",
+                self.phys.poison_count()
+                    + self.chaos.armed_drum_errors()
+                    + u64::from(self.io.pending_watchdogs()),
+            );
+        }
+        snap
     }
 
     /// Fast-path engine counters: instructions by path, lookaside
@@ -535,6 +552,34 @@ impl Machine {
     /// account for the work a compiled-code body would have done).
     pub fn charge(&mut self, cycles: u64) {
         self.extra_cycles += cycles;
+    }
+
+    /// Arms the chaos engine (deterministic fault injection). The
+    /// default engine is inert; arming replaces it wholesale, so this
+    /// happens during world building, before execution starts.
+    pub fn set_chaos(&mut self, engine: ring_chaos::ChaosEngine) {
+        self.chaos = engine;
+    }
+
+    /// The chaos engine (injection/detection ledger).
+    pub fn chaos(&self) -> &ring_chaos::ChaosEngine {
+        &self.chaos
+    }
+
+    /// Mutable chaos engine access — the supervisor consumes armed drum
+    /// errors and reports recoveries through this.
+    pub fn chaos_mut(&mut self) -> &mut ring_chaos::ChaosEngine {
+        &mut self.chaos
+    }
+
+    /// Registers a physical range `[lo, hi)` that chaos injection must
+    /// never poison. The supervisor registers the per-process trap-SDW
+    /// pairs here: a parity error met while entering a trap is an
+    /// unrecoverable double fault, so those words play the role of the
+    /// real hardware's dedicated (parity-checked-and-corrected) trap
+    /// storage.
+    pub fn chaos_protect(&mut self, lo: u32, hi: u32) {
+        self.chaos_protect.push((lo, hi));
     }
 
     /// The I/O system (device queues).
@@ -732,8 +777,13 @@ impl Machine {
         }
         // Asynchronous conditions are recognised between instructions,
         // and held off while a trap is being serviced (the save area
-        // holds state the supervisor has not yet copied).
+        // holds state the supervisor has not yet copied). Chaos
+        // injection obeys the same eligibility window, so it is part of
+        // the deterministic simulated state and replays identically.
         if !self.in_trap {
+            if self.chaos.enabled() {
+                self.chaos_tick();
+            }
             if let Some(f) = self.pending_async() {
                 return self.take_trap(self.snapshot(), f);
             }
@@ -808,6 +858,12 @@ impl Machine {
         }
         if let Some(channel) = self.io.take_completion(self.cycles, &mut self.phys) {
             return Some(Fault::IoCompletion { channel });
+        }
+        if let Some(channel) = self.io.take_watchdog_expiry(self.cycles) {
+            return Some(Fault::IoError {
+                channel,
+                code: crate::io::IO_ERROR_WATCHDOG,
+            });
         }
         None
     }

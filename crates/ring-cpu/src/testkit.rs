@@ -53,7 +53,11 @@ impl World {
         let desc = alloc
             .alloc(2 * TEST_SEGMENTS)
             .expect("room for descriptor segment");
-        let dbr = Dbr::new(desc, TEST_SEGMENTS, SegNo::new(48).unwrap());
+        let dbr = Dbr::new(
+            desc,
+            TEST_SEGMENTS,
+            SegNo::new(48).expect("48 is a valid segno"),
+        );
         machine.load_dbr(dbr);
         World {
             machine,

@@ -118,6 +118,11 @@ fn fault_detail(fault: &Fault) -> (Word, Word) {
         Fault::IllegalOpcode { opcode } => (Word::ZERO, Word::new(u64::from(*opcode))),
         Fault::PrivilegedViolation { ring } => (Word::ZERO, Word::new(u64::from(ring.number()))),
         Fault::PhysicalBounds { abs } => (Word::ZERO, Word::new(u64::from(*abs))),
+        Fault::ParityError { abs } => (Word::ZERO, Word::new(u64::from(*abs))),
+        Fault::IoError { channel, code } => (
+            Word::ZERO,
+            Word::new((u64::from(*channel) << 18) | u64::from(*code)),
+        ),
         _ => (Word::ZERO, Word::ZERO),
     }
 }
@@ -135,6 +140,11 @@ impl Machine {
             _ => {}
         }
         self.trace.push(|| TraceEvent::Trap { fault });
+        // A parity or I/O-error trap is the *detection* of an injected
+        // hardware fault reaching the supervisor.
+        if matches!(fault, Fault::ParityError { .. } | Fault::IoError { .. }) {
+            self.chaos.note_detected();
+        }
         let from = self.ipr.ring;
         self.metrics.fault(&fault, from);
         // The software-assisted crossings get their own kind; every

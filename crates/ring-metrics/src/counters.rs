@@ -168,7 +168,11 @@ impl OpClass {
     }
 
     fn index(self) -> usize {
-        OpClass::ALL.iter().position(|c| *c == self).unwrap()
+        // Infallible: ALL enumerates every variant.
+        OpClass::ALL
+            .iter()
+            .position(|c| *c == self)
+            .unwrap_or_default()
     }
 }
 
@@ -212,6 +216,8 @@ pub fn vector_key(v: u32) -> &'static str {
         vector::IO_COMPLETION => "io_completion",
         vector::PHYSICAL_BOUNDS => "physical_bounds",
         vector::HALT => "halt",
+        vector::PARITY_ERROR => "parity_error",
+        vector::IO_ERROR => "io_error",
         _ => "unknown",
     }
 }

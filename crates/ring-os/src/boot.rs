@@ -222,6 +222,12 @@ impl System {
                 .expect("stack header");
         }
         drop(alloc);
+        // The new process's trap-segment SDW pair must survive chaos
+        // injection: a parity error met while entering a trap is an
+        // unrecoverable double fault (the hardware analogue kept its
+        // trap storage on corrected memory).
+        let trap_pair = desc_base.wrapping_add(2 * segs::TRAP).value();
+        self.machine.chaos_protect(trap_pair, trap_pair + 2);
         let mut st = self.state.borrow_mut();
         st.processes.push(ProcessState::new(user, desc_base));
         st.processes.len() - 1
@@ -301,6 +307,26 @@ impl System {
         self.machine.enable_metrics();
     }
 
+    /// Arms deterministic chaos injection with `plan`. Must happen
+    /// during world building (before execution) so record and replay
+    /// see the same injection schedule.
+    pub fn enable_chaos(&mut self, plan: ring_cpu::FaultPlan) {
+        self.machine
+            .set_chaos(ring_cpu::ChaosEngine::with_plan(plan));
+    }
+
+    /// Runs the chaos protection-invariant checker against the current
+    /// world (descriptor brackets, frame-pool/PTW agreement, SDW-cache
+    /// coherence).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        crate::invariants::check(&self.machine, &self.state.borrow())
+    }
+
+    /// The supervisor's fault-recovery counters.
+    pub fn chaos_stats(&self) -> crate::state::ChaosRecoveryStats {
+        self.state.borrow().chaos
+    }
+
     /// Turns on the span flight recorder: every gate CALL and trap the
     /// supervisor mediates opens a span, closed by the matching
     /// RETURN/RETT, with per-gate cycle attribution.
@@ -328,6 +354,11 @@ impl System {
         let st = self.state.borrow();
         for (k, v) in st.stats.export_pairs() {
             snap.push_extra(k, v);
+        }
+        if self.machine.chaos().enabled() {
+            for (k, v) in st.chaos.export_pairs() {
+                snap.push_extra(k, v);
+            }
         }
         for (pid, p) in st.processes.iter().enumerate() {
             snap.push_extra(format!("os.proc.{pid}.gate_calls"), p.gate_calls);

@@ -1,0 +1,134 @@
+//! The chaos invariant checker.
+//!
+//! After a recovery claims success, these checks re-establish that the
+//! protection state the paper's hardware depends on is actually
+//! consistent:
+//!
+//! 1. every present SDW in every live process's descriptor segment
+//!    satisfies R1 ≤ R2 ≤ R3 (the access-bracket ordering of Fig. 2 —
+//!    a descriptor violating it grants rings it should deny);
+//! 2. the frame pool maps each physical frame at most once, and every
+//!    resident slot's PTW still names the slot's frame (no two
+//!    processes can reach one writable frame through divergent
+//!    bookkeeping);
+//! 3. every SDW-cache entry agrees with the in-memory descriptor pair
+//!    it caches for the current address space (a stale cached
+//!    descriptor would outlive the salvager's repairs).
+//!
+//! The checker never panics and never takes a counted (faultable)
+//! read: it peeks, and skips words that are still poisoned — those are
+//! damage awaiting their own trap, not inconsistency.
+
+use ring_cpu::machine::Machine;
+use ring_segmem::paging::Ptw;
+
+use ring_core::sdw::Sdw;
+
+use crate::state::OsState;
+
+/// Checks the protection invariants; returns a description of the
+/// first violation found.
+pub fn check(m: &Machine, s: &OsState) -> Result<(), String> {
+    check_descriptor_brackets(m, s)?;
+    check_frame_pool(m, s)?;
+    check_sdw_cache_coherence(m, s)
+}
+
+/// Invariant 1: bracket ordering in every live descriptor segment.
+fn check_descriptor_brackets(m: &Machine, s: &OsState) -> Result<(), String> {
+    for (pid, p) in s.processes.iter().enumerate() {
+        if p.aborted.is_some() {
+            continue;
+        }
+        let dbr = p.dbr;
+        for segno in 0..dbr.bound {
+            let a0 = dbr.addr.wrapping_add(2 * segno);
+            let a1 = a0.wrapping_add(1);
+            if m.phys().is_poisoned(a0) || m.phys().is_poisoned(a1) {
+                continue;
+            }
+            let (Ok(w0), Ok(w1)) = (m.phys().peek(a0), m.phys().peek(a1)) else {
+                return Err(format!(
+                    "pid {pid}: descriptor pair for segment {segno} is out of physical bounds"
+                ));
+            };
+            let sdw = Sdw::unpack(w0, w1);
+            if sdw.present && !(sdw.r1 <= sdw.r2 && sdw.r2 <= sdw.r3) {
+                return Err(format!(
+                    "pid {pid}: segment {segno} violates R1 <= R2 <= R3 ({:?} {:?} {:?})",
+                    sdw.r1, sdw.r2, sdw.r3
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 2: frame-pool / page-table agreement.
+fn check_frame_pool(m: &Machine, s: &OsState) -> Result<(), String> {
+    let Some(pool) = s.frames.as_ref() else {
+        return Ok(());
+    };
+    let mut seen = std::collections::HashSet::new();
+    for &(frame, owner) in pool.resident_set() {
+        if !seen.insert(frame) {
+            return Err(format!("frame {frame} is resident in two pool slots"));
+        }
+        if m.phys().is_poisoned(owner.ptw_addr) {
+            continue;
+        }
+        let Ok(w) = m.phys().peek(owner.ptw_addr) else {
+            return Err(format!(
+                "frame {frame}: PTW address {:#o} is out of physical bounds",
+                owner.ptw_addr.value()
+            ));
+        };
+        let ptw = Ptw::unpack(w);
+        if !ptw.present || ptw.frame != frame {
+            return Err(format!(
+                "frame {frame}: pool says pid {} seg {} page {}, but the PTW maps {}",
+                owner.pid,
+                owner.segno,
+                owner.page,
+                if ptw.present {
+                    format!("frame {}", ptw.frame)
+                } else {
+                    "nothing".to_string()
+                }
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 3: the SDW cache agrees with the current descriptor
+/// segment.
+fn check_sdw_cache_coherence(m: &Machine, s: &OsState) -> Result<(), String> {
+    if s.processes.is_empty() {
+        return Ok(());
+    }
+    let dbr = s.processes[s.current].dbr;
+    for entry in m.translator().export_cache_state().entries.iter().flatten() {
+        let (segno, cached) = entry;
+        let Some(a0) = dbr.sdw_addr(*segno) else {
+            return Err(format!(
+                "SDW cache holds segment {} beyond the descriptor bound",
+                segno.value()
+            ));
+        };
+        let a1 = a0.wrapping_add(1);
+        if m.phys().is_poisoned(a0) || m.phys().is_poisoned(a1) {
+            continue;
+        }
+        let (Ok(w0), Ok(w1)) = (m.phys().peek(a0), m.phys().peek(a1)) else {
+            continue;
+        };
+        if Sdw::unpack(w0, w1) != *cached {
+            return Err(format!(
+                "SDW cache entry for segment {} disagrees with the descriptor segment",
+                segno.value()
+            ));
+        }
+    }
+    Ok(())
+}

@@ -11,6 +11,10 @@
 //!   loading, demand paging, processor multiplexing, software-mediated
 //!   upward calls and downward returns ([`traps`]) — and gate services
 //!   in rings 0 and 1 ([`gates`], [`services`]);
+//! * fault recovery under chaos injection: parity-error
+//!   classification and repair with a descriptor-segment salvager
+//!   ([`recover`]) and a post-recovery protection-invariant checker
+//!   ([`invariants`]);
 //! * user-constructed protected subsystems in ring 2 ([`subsystems`]);
 //! * staging and execution of real assembled user programs
 //!   ([`driver`]), plus the world builder ([`boot`]);
@@ -34,7 +38,9 @@ pub mod conventions;
 pub mod driver;
 pub mod fs;
 pub mod gates;
+pub mod invariants;
 pub mod process;
+pub mod recover;
 pub mod services;
 pub mod state;
 pub mod strings;
@@ -46,4 +52,4 @@ pub use acl::{Acl, AclEntry, Modes};
 pub use boot::{System, SystemConfig};
 pub use driver::{gen_call_sequence, Staged};
 pub use fs::{FileSystem, SegmentId};
-pub use state::{AuditRecord, OsState, SupervisorStats};
+pub use state::{AuditRecord, ChaosRecoveryStats, OsState, SupervisorStats};

@@ -74,6 +74,49 @@ impl SupervisorStats {
     }
 }
 
+/// Counters kept by the supervisor's fault-recovery paths (parity
+/// recovery, drum retry, I/O watchdog service). Only meaningful — and
+/// only exported — when the chaos engine is armed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosRecoveryStats {
+    /// Faults fully recovered (the damaged state was repaired or
+    /// rebuilt and the system continued).
+    pub recovered: u64,
+    /// Processes killed to confine damage that could not be repaired.
+    pub killed: u64,
+    /// Pages or segment words re-fetched from their home image after a
+    /// parity error destroyed the in-core copy.
+    pub refetched: u64,
+    /// Descriptor or page-table words the salvager rewrote as missing
+    /// (forcing a clean re-fault instead of trusting damaged state).
+    pub salvaged: u64,
+    /// Drum transfers retried after an injected read or write error.
+    pub drum_retries: u64,
+    /// I/O watchdog expiries serviced (lost completion converted into a
+    /// wake-up of the stranded waiter).
+    pub io_timeouts: u64,
+    /// Post-recovery invariant checks that failed (damage escaped the
+    /// recovery path; should stay zero).
+    pub invariant_failures: u64,
+}
+
+impl ChaosRecoveryStats {
+    /// Flattens the counters into namespaced `chaos.*` pairs for a
+    /// metrics snapshot's `extra` section (alongside the engine's own
+    /// injection ledger).
+    pub fn export_pairs(&self) -> Vec<(String, u64)> {
+        vec![
+            ("chaos.recovered".into(), self.recovered),
+            ("chaos.killed".into(), self.killed),
+            ("chaos.refetched".into(), self.refetched),
+            ("chaos.salvaged".into(), self.salvaged),
+            ("chaos.drum_retries".into(), self.drum_retries),
+            ("chaos.io_timeouts".into(), self.io_timeouts),
+            ("chaos.invariant_failures".into(), self.invariant_failures),
+        ]
+    }
+}
+
 /// The supervisor's in-memory state.
 pub struct OsState {
     /// Registered user names.
@@ -104,6 +147,12 @@ pub struct OsState {
     /// Simulated cycles a drum transfer takes; a major page fault
     /// blocks the faulting process for this long.
     pub page_in_latency: u64,
+    /// Fault-recovery counters (chaos runs).
+    pub chaos: ChaosRecoveryStats,
+    /// Consecutive failed drum reads per `(pid, segno, page)`, for the
+    /// bounded-retry-with-backoff policy. An entry disappears when the
+    /// read finally succeeds or the process is killed.
+    pub drum_attempts: HashMap<(usize, u32, u32), u32>,
 }
 
 impl OsState {
@@ -123,6 +172,8 @@ impl OsState {
             frames: None,
             backing: BackingStore::new(),
             page_in_latency: 1_000,
+            chaos: ChaosRecoveryStats::default(),
+            drum_attempts: HashMap::new(),
         }
     }
 

@@ -20,7 +20,18 @@
 //! * **derail `EXIT_CODE`** — orderly process exit;
 //! * **derail `IO_WAIT_CODE`** — block until the channel named in the
 //!   A register completes, instead of spinning on a status word;
+//! * **parity errors** — classify and repair the damaged word through
+//!   [`crate::recover`], then re-check the protection invariants
+//!   ([`crate::invariants`]); unrepairable damage kills one process,
+//!   never the system;
+//! * **I/O errors** — a channel watchdog fired in place of a lost
+//!   completion interrupt: wake the stranded waiter;
 //! * everything else — process abort.
+//!
+//! Demand paging additionally consumes armed drum transfer errors from
+//! the chaos engine: a failed read is retried with exponential backoff
+//! (bounded — the process dies after [`MAX_DRUM_RETRIES`]), a failed
+//! write is retried immediately.
 //!
 //! Every dispatch — timer preemption, block, wake, abort — goes
 //! through `dispatch_to`, which reloads the DBR (flushing the SDW
@@ -53,6 +64,10 @@ pub const EXIT_CODE: u32 = 0o777;
 /// The derail code that blocks the process until the I/O channel named
 /// in the A register completes (the supervisor's "wait" primitive).
 pub const IO_WAIT_CODE: u32 = 0o776;
+
+/// Consecutive drum-read failures a page-in survives before the
+/// supervisor gives up and kills the faulting process.
+pub const MAX_DRUM_RETRIES: u32 = 3;
 
 /// Installs the trap dispatcher on the machine.
 pub fn install(
@@ -110,6 +125,33 @@ fn dispatch(
             if let Some(Fault::IoCompletion { channel }) = m.last_fault() {
                 s.sched.wake_io(channel);
             }
+            Ok(NativeAction::Resume)
+        }
+        vector::PARITY_ERROR => {
+            let (_, _, _, detail) = m.fault_info()?;
+            let abs = detail.raw() as u32;
+            let outcome = crate::recover::recover_parity(m, s, abs);
+            if crate::invariants::check(m, s).is_err() {
+                s.chaos.invariant_failures += 1;
+            }
+            match outcome {
+                crate::recover::ParityOutcome::Recovered => Ok(NativeAction::Resume),
+                crate::recover::ParityOutcome::KillCurrent(reason) => {
+                    s.chaos.killed += 1;
+                    abort_current(m, s, &reason)
+                }
+            }
+        }
+        vector::IO_ERROR => {
+            // The channel watchdog fired in place of a completion whose
+            // interrupt was lost. The transfer itself finished (the
+            // device did the work; only the interrupt vanished), so
+            // waking the stranded waiter fully recovers.
+            let (_, _, _, detail) = m.fault_info()?;
+            let channel = (detail.raw() >> 18) as u8;
+            s.chaos.io_timeouts += 1;
+            s.chaos.recovered += 1;
+            s.sched.wake_io(channel);
             Ok(NativeAction::Resume)
         }
         vector::UPWARD_CALL => {
@@ -245,19 +287,43 @@ fn load_page(
     let page = addr.wordno.value() / PAGE_WORDS;
     let ptw_addr = sdw.addr.wrapping_add(page);
     let cur = s.current;
+    let key = PageKey {
+        seg: entry.id.0,
+        page,
+    };
+    // An armed drum read error hits before any frame changes hands:
+    // the fill would come from the drum and the transfer fails. Retry
+    // with exponential backoff by leaving the PTW missing — the
+    // instruction re-faults after the sleep — and give up (killing the
+    // process, not the system) after MAX_DRUM_RETRIES.
+    if s.backing.contains(key) && m.chaos_mut().take_drum_read_error() {
+        let attempts = s.drum_attempts.entry((cur, segno, page)).or_insert(0);
+        *attempts += 1;
+        let n = *attempts;
+        s.chaos.drum_retries += 1;
+        if n > MAX_DRUM_RETRIES {
+            s.drum_attempts.remove(&(cur, segno, page));
+            return Err(format!(
+                "drum read for segment {segno} page {page} failed after {MAX_DRUM_RETRIES} retries"
+            ));
+        }
+        return Ok(Some(m.cycles() + (s.page_in_latency << n)));
+    }
     let mut victim = None;
     let frame = match s.frames.as_mut() {
         Some(pool) => {
-            let got = pool.acquire(
-                a,
-                m.phys_mut(),
-                FrameOwner {
-                    pid: cur,
-                    segno,
-                    page,
-                    ptw_addr,
-                },
-            );
+            let got = pool
+                .acquire(
+                    a,
+                    m.phys_mut(),
+                    FrameOwner {
+                        pid: cur,
+                        segno,
+                        page,
+                        ptw_addr,
+                    },
+                )
+                .map_err(|e| format!("frame acquisition: {e}"))?;
             victim = got.victim;
             got.frame
         }
@@ -279,7 +345,15 @@ fn load_page(
                     v.owner.pid, v.owner.segno
                 )
             })?;
-        let words = sweep_out(m.phys_mut(), &v, frame, PAGE_WORDS as usize);
+        let words =
+            sweep_out(m.phys_mut(), &v, frame, PAGE_WORDS as usize).map_err(|e| e.to_string())?;
+        // An armed drum write error fails the first transfer of the
+        // victim to the drum; the supervisor retries (modelled as an
+        // immediate success — the words are still in hand).
+        if m.chaos_mut().take_drum_write_error() {
+            s.chaos.drum_retries += 1;
+            s.chaos.recovered += 1;
+        }
         s.backing.store(
             PageKey {
                 seg: vseg,
@@ -291,10 +365,6 @@ fn load_page(
         m.translator_mut().flush_cache();
     }
     let base = frame * PAGE_WORDS;
-    let key = PageKey {
-        seg: entry.id.0,
-        page,
-    };
     let fetched = s.backing.fetch(key);
     let major = fetched.is_some();
     if let Some(words) = fetched {
@@ -327,6 +397,11 @@ fn load_page(
         .poke(sdw.addr.wrapping_add(page), ptw.pack())
         .map_err(|e| e.to_string())?;
     s.processes[cur].page_faults += 1;
+    // The fill succeeded: any drum-retry history for this page has
+    // resolved into a recovery.
+    if s.drum_attempts.remove(&(cur, segno, page)).is_some() {
+        s.chaos.recovered += 1;
+    }
     if major {
         s.sched.stats.page_faults_major += 1;
         Ok(Some(m.cycles() + s.page_in_latency))
@@ -540,6 +615,20 @@ fn downward_return(m: &mut Machine, s: &mut OsState) -> Result<NativeAction, Fau
     state.ipr = Ipr::new(gate_ring, continuation.addr);
     m.set_saved_state(&state)?;
     Ok(NativeAction::Resume)
+}
+
+/// Kills process `pid` without dispatching: marks it aborted and
+/// removes it from the scheduler. Chaos recovery uses this to confine
+/// damage to a process that is not currently running; the running
+/// process's trap return stays valid.
+pub(crate) fn kill_pid(s: &mut OsState, pid: usize, reason: &str) {
+    if s.processes[pid].aborted.is_some() {
+        return;
+    }
+    s.stats.aborts += 1;
+    s.processes[pid].aborted = Some(reason.to_string());
+    s.processes[pid].saved = None;
+    s.sched.remove(pid);
 }
 
 /// Aborts the current process; switches to another live process (or

@@ -397,6 +397,29 @@ impl RingTlb {
         self.seg_counts.fill(0);
     }
 
+    /// Chaos hook: damages one live entry, chosen deterministically by
+    /// `pick`, and discards it — modelling a cache-parity detection,
+    /// where the hardware's recovery is simply to drop the entry and
+    /// re-walk. Returns the segment the entry mapped, or `None` when
+    /// the lookaside holds no live entry to damage.
+    pub fn chaos_discard(&mut self, pick: u64) -> Option<u32> {
+        let live: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.key != EMPTY && e.epoch == self.epoch)
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let idx = live[(pick % live.len() as u64) as usize];
+        let segno = self.slots[idx].segno;
+        self.slots[idx] = EMPTY_ENTRY;
+        self.seg_counts[usize::from(segno)] -= 1;
+        Some(u32::from(segno))
+    }
+
     /// Records `n` committed fast-path translations.
     #[inline]
     pub fn note_hits(&mut self, n: u64) {

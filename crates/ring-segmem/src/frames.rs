@@ -18,6 +18,7 @@
 //! a fast-path hit would leave the bit stale and replacement would
 //! starve the page.
 
+use ring_core::access::Fault;
 use ring_core::word::Word;
 use ring_core::AbsAddr;
 
@@ -101,30 +102,34 @@ impl FramePool {
     /// a fresh frame from `alloc` while under budget, otherwise the
     /// CLOCK victim's frame. The pool records `owner` as the new
     /// occupant either way.
+    ///
+    /// Errors are faults, not panics: the pool operates on simulated
+    /// hardware state (the frame table lives in simulated memory and
+    /// may be damaged by fault injection), so a bad PTW address or an
+    /// exhausted allocator surfaces as a physical-bounds fault for the
+    /// supervisor to handle.
     pub fn acquire(
         &mut self,
         alloc: &mut PhysAllocator,
         phys: &mut PhysMem,
         owner: FrameOwner,
-    ) -> Acquire {
+    ) -> Result<Acquire, Fault> {
         if let Some(frame) = self.free.pop() {
             self.slots.push((frame, owner));
-            return Acquire {
+            return Ok(Acquire {
                 frame,
                 victim: None,
                 cleared: Vec::new(),
-            };
+            });
         }
         if self.slots.len() < self.budget {
-            let frame = alloc
-                .alloc_frame()
-                .expect("frame budget fits in physical memory");
+            let frame = alloc.alloc_frame()?;
             self.slots.push((frame, owner));
-            return Acquire {
+            return Ok(Acquire {
                 frame,
                 victim: None,
                 cleared: Vec::new(),
-            };
+            });
         }
         // CLOCK: give each used page one second chance, then evict the
         // first unreferenced page the hand reaches. Two sweeps always
@@ -133,31 +138,63 @@ impl FramePool {
         for _ in 0..2 * self.slots.len() + 1 {
             let slot = self.hand % self.slots.len();
             let (frame, candidate) = self.slots[slot];
-            let ptw = Ptw::unpack(
-                phys.peek(candidate.ptw_addr)
-                    .expect("frame-table PTW address is valid physical memory"),
-            );
-            if ptw.used {
+            // A parity-damaged PTW earns no second chance: its bits are
+            // garbage, so rewriting them (as the second-chance poke
+            // would) persists the damage while hiding it. The page is
+            // the immediate victim instead — the caller's sweep-out
+            // rewrites the word wholesale, which is the repair.
+            let poisoned = phys.is_poisoned(candidate.ptw_addr);
+            let ptw = Ptw::unpack(phys.peek(candidate.ptw_addr)?);
+            if ptw.used && !poisoned {
                 let mut second_chance = ptw;
                 second_chance.used = false;
-                phys.poke(candidate.ptw_addr, second_chance.pack())
-                    .expect("frame-table PTW address is valid physical memory");
+                phys.poke(candidate.ptw_addr, second_chance.pack())?;
                 cleared.push(candidate.segno);
                 self.hand = (self.hand + 1) % self.slots.len();
                 continue;
             }
             self.slots[slot] = (frame, owner);
             self.hand = (slot + 1) % self.slots.len();
-            return Acquire {
+            return Ok(Acquire {
                 frame,
                 victim: Some(Evicted {
                     owner: candidate,
-                    modified: ptw.modified,
+                    // A damaged PTW's modified bit is untrustworthy;
+                    // assume the worst so the page is written back.
+                    modified: ptw.modified || poisoned,
                 }),
                 cleared,
-            };
+            });
         }
-        unreachable!("CLOCK finds a victim within two sweeps");
+        // Two full sweeps without a victim means the frame table itself
+        // is damaged (a correct first sweep clears every used bit).
+        // Report it against the hand's PTW rather than crashing the
+        // simulator.
+        let (_, stuck) = self.slots[self.hand % self.slots.len()];
+        Err(Fault::PhysicalBounds {
+            abs: stuck.ptw_addr.value(),
+        })
+    }
+
+    /// Removes the resident page mapped by the PTW at `ptw_addr`,
+    /// returning its frame to the free list. Used by parity recovery
+    /// when the PTW word itself is damaged: the page's mapping is no
+    /// longer trustworthy, so the frame is abandoned and the page
+    /// re-fetched on the next fault. Returns the freed `(frame, owner)`
+    /// if a resident page was mapped there.
+    pub fn release_ptw(&mut self, ptw_addr: AbsAddr) -> Option<(u32, FrameOwner)> {
+        let slot = self
+            .slots
+            .iter()
+            .position(|&(_, o)| o.ptw_addr == ptw_addr)?;
+        let (frame, owner) = self.slots.remove(slot);
+        self.free.push(frame);
+        if !self.slots.is_empty() {
+            self.hand %= self.slots.len();
+        } else {
+            self.hand = 0;
+        }
+        Some((frame, owner))
     }
 
     /// Releases every frame owned by `pid` back to the free list
@@ -189,17 +226,25 @@ impl FramePool {
 
 /// Marks the victim's PTW missing (preserving nothing — the page is
 /// gone) and returns the words the frame held, ready for the backing
-/// store.
-pub fn sweep_out(phys: &mut PhysMem, victim: &Evicted, frame: u32, page_words: usize) -> Vec<Word> {
+/// store. Faults (rather than panicking) when the frame or PTW address
+/// falls outside physical memory — simulated hardware state the fault
+/// injector may have damaged.
+pub fn sweep_out(
+    phys: &mut PhysMem,
+    victim: &Evicted,
+    frame: u32,
+    page_words: usize,
+) -> Result<Vec<Word>, Fault> {
     let base = frame as usize * page_words;
     let mut words = Vec::with_capacity(page_words);
     for i in 0..page_words {
-        let addr = AbsAddr::new((base + i) as u32).expect("resident frame is mapped memory");
-        words.push(phys.peek(addr).expect("resident frame is mapped memory"));
+        let addr = AbsAddr::new((base + i) as u32).ok_or(Fault::PhysicalBounds {
+            abs: (base + i) as u32,
+        })?;
+        words.push(phys.peek(addr)?);
     }
-    phys.poke(victim.owner.ptw_addr, Ptw::MISSING.pack())
-        .expect("frame-table PTW address is valid physical memory");
-    words
+    phys.poke(victim.owner.ptw_addr, Ptw::MISSING.pack())?;
+    Ok(words)
 }
 
 #[cfg(test)]
@@ -233,7 +278,7 @@ mod tests {
         let mut pool = FramePool::new(3);
         for page in 0..3 {
             let o = owner(0, 10, page, 100 + page);
-            let got = pool.acquire(&mut alloc, &mut phys, o);
+            let got = pool.acquire(&mut alloc, &mut phys, o).unwrap();
             assert!(got.victim.is_none());
             map(&mut phys, &o, got.frame, false);
         }
@@ -246,13 +291,13 @@ mod tests {
         let mut pool = FramePool::new(2);
         let a = owner(0, 10, 0, 100);
         let b = owner(0, 10, 1, 101);
-        let fa = pool.acquire(&mut alloc, &mut phys, a).frame;
-        let fb = pool.acquire(&mut alloc, &mut phys, b).frame;
+        let fa = pool.acquire(&mut alloc, &mut phys, a).unwrap().frame;
+        let fb = pool.acquire(&mut alloc, &mut phys, b).unwrap().frame;
         // A referenced since load, B not: the hand skips A, evicts B.
         map(&mut phys, &a, fa, true);
         map(&mut phys, &b, fb, false);
         let c = owner(0, 10, 2, 102);
-        let got = pool.acquire(&mut alloc, &mut phys, c);
+        let got = pool.acquire(&mut alloc, &mut phys, c).unwrap();
         let victim = got.victim.expect("budget exhausted: someone is evicted");
         assert_eq!(victim.owner, b);
         assert_eq!(got.frame, fb, "victim's frame is recycled");
@@ -267,11 +312,13 @@ mod tests {
         let mut pool = FramePool::new(2);
         let a = owner(0, 10, 0, 100);
         let b = owner(0, 10, 1, 101);
-        let fa = pool.acquire(&mut alloc, &mut phys, a).frame;
-        let fb = pool.acquire(&mut alloc, &mut phys, b).frame;
+        let fa = pool.acquire(&mut alloc, &mut phys, a).unwrap().frame;
+        let fb = pool.acquire(&mut alloc, &mut phys, b).unwrap().frame;
         map(&mut phys, &a, fa, true);
         map(&mut phys, &b, fb, true);
-        let got = pool.acquire(&mut alloc, &mut phys, owner(0, 10, 2, 102));
+        let got = pool
+            .acquire(&mut alloc, &mut phys, owner(0, 10, 2, 102))
+            .unwrap();
         // Both bits cleared on the first sweep; the oldest page loses.
         assert_eq!(got.victim.unwrap().owner, a);
         assert_eq!(got.cleared, vec![10, 10]);
@@ -282,14 +329,16 @@ mod tests {
         let (mut alloc, mut phys) = world();
         let mut pool = FramePool::new(1);
         let a = owner(0, 10, 0, 100);
-        let fa = pool.acquire(&mut alloc, &mut phys, a).frame;
+        let fa = pool.acquire(&mut alloc, &mut phys, a).unwrap().frame;
         map(&mut phys, &a, fa, false);
         let base = fa * PAGE_WORDS;
         phys.poke(AbsAddr::new(base).unwrap(), Word::new(0o123))
             .unwrap();
-        let got = pool.acquire(&mut alloc, &mut phys, owner(0, 10, 1, 101));
+        let got = pool
+            .acquire(&mut alloc, &mut phys, owner(0, 10, 1, 101))
+            .unwrap();
         let victim = got.victim.unwrap();
-        let words = sweep_out(&mut phys, &victim, got.frame, PAGE_WORDS as usize);
+        let words = sweep_out(&mut phys, &victim, got.frame, PAGE_WORDS as usize).unwrap();
         assert_eq!(words.len(), PAGE_WORDS as usize);
         assert_eq!(words[0], Word::new(0o123));
         let ptw = Ptw::unpack(phys.peek(a.ptw_addr).unwrap());
@@ -301,14 +350,16 @@ mod tests {
         let (mut alloc, mut phys) = world();
         let mut pool = FramePool::new(2);
         let a = owner(7, 10, 0, 100);
-        let fa = pool.acquire(&mut alloc, &mut phys, a).frame;
+        let fa = pool.acquire(&mut alloc, &mut phys, a).unwrap().frame;
         map(&mut phys, &a, fa, false);
         let freed = pool.release_pid(7);
         assert_eq!(freed, vec![fa]);
         assert_eq!(pool.resident(), 0);
         // The freed frame is handed out again before the allocator is
         // consulted.
-        let got = pool.acquire(&mut alloc, &mut phys, owner(1, 11, 0, 101));
+        let got = pool
+            .acquire(&mut alloc, &mut phys, owner(1, 11, 0, 101))
+            .unwrap();
         assert_eq!(got.frame, fa);
     }
 }

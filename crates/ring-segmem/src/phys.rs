@@ -5,6 +5,8 @@
 //! the processor reaches it only through address translation
 //! ([`crate::translate`]).
 
+use std::collections::BTreeSet;
+
 use ring_core::access::Fault;
 use ring_core::addr::AbsAddr;
 use ring_core::word::Word;
@@ -14,11 +16,30 @@ use ring_core::word::Word;
 /// Reads and writes are bounds-checked against the configured size and
 /// counted, so callers can convert physical traffic into simulated
 /// cycles.
+///
+/// Each word carries a simulated parity bit: the chaos harness damages
+/// a word with [`PhysMem::corrupt`], after which any *counted* read
+/// raises [`Fault::ParityError`] — exactly how core parity surfaces on
+/// real hardware. A write (counted or not) rewrites the parity and
+/// clears the poison. Uncounted [`PhysMem::peek`]s stay poison-blind:
+/// they model maintenance-panel access, and the fast path (which probes
+/// with peeks) performs its own poison checks so that it bails to the
+/// slow path and the fault is raised identically either way.
 #[derive(Clone)]
 pub struct PhysMem {
     words: Vec<Word>,
     reads: u64,
     writes: u64,
+    /// Absolute addresses whose parity is bad (sorted for canonical
+    /// serialization).
+    poisoned: BTreeSet<u32>,
+    /// Poisoned words healed by an ordinary counted write before any
+    /// read saw them (latent faults that expired harmlessly).
+    repaired: u64,
+    /// One past the highest address ever written (counted or poked);
+    /// the chaos harness draws its targets below this mark so they
+    /// land in storage that is actually in use.
+    high_water: u32,
 }
 
 impl PhysMem {
@@ -36,6 +57,9 @@ impl PhysMem {
             words: vec![Word::ZERO; words],
             reads: 0,
             writes: 0,
+            poisoned: BTreeSet::new(),
+            repaired: 0,
+            high_water: 0,
         }
     }
 
@@ -44,22 +68,33 @@ impl PhysMem {
         self.words.len()
     }
 
-    /// Reads the word at `addr`.
+    /// Reads the word at `addr`. A counted read is parity-checked: a
+    /// damaged word raises [`Fault::ParityError`].
     pub fn read(&mut self, addr: AbsAddr) -> Result<Word, Fault> {
         self.reads += 1;
-        self.words
+        let word = self
+            .words
             .get(addr.value() as usize)
             .copied()
-            .ok_or(Fault::PhysicalBounds { abs: addr.value() })
+            .ok_or(Fault::PhysicalBounds { abs: addr.value() })?;
+        if !self.poisoned.is_empty() && self.poisoned.contains(&addr.value()) {
+            return Err(Fault::ParityError { abs: addr.value() });
+        }
+        Ok(word)
     }
 
-    /// Writes the word at `addr`.
+    /// Writes the word at `addr`, rewriting its parity (a damaged word
+    /// becomes clean again).
     #[inline]
     pub fn write(&mut self, addr: AbsAddr, value: Word) -> Result<(), Fault> {
         self.writes += 1;
         match self.words.get_mut(addr.value() as usize) {
             Some(slot) => {
                 *slot = value;
+                self.high_water = self.high_water.max(addr.value() + 1);
+                if !self.poisoned.is_empty() && self.poisoned.remove(&addr.value()) {
+                    self.repaired += 1;
+                }
                 Ok(())
             }
             None => Err(Fault::PhysicalBounds { abs: addr.value() }),
@@ -76,11 +111,18 @@ impl PhysMem {
             .ok_or(Fault::PhysicalBounds { abs: addr.value() })
     }
 
-    /// Writes without disturbing the traffic counters (world-building).
+    /// Writes without disturbing the traffic counters (world-building
+    /// and supervisor repair). Clears any poison on the word without
+    /// counting it as a latent repair — a deliberate poke is either
+    /// world-building or recovery, not a program racing a fault.
     pub fn poke(&mut self, addr: AbsAddr, value: Word) -> Result<(), Fault> {
         match self.words.get_mut(addr.value() as usize) {
             Some(slot) => {
                 *slot = value;
+                self.high_water = self.high_water.max(addr.value() + 1);
+                if !self.poisoned.is_empty() {
+                    self.poisoned.remove(&addr.value());
+                }
                 Ok(())
             }
             None => Err(Fault::PhysicalBounds { abs: addr.value() }),
@@ -128,6 +170,69 @@ impl PhysMem {
     /// Total counted writes since construction.
     pub fn write_count(&self) -> u64 {
         self.writes
+    }
+
+    /// Damages the word at `abs`: XORs `mask` into its contents and
+    /// marks its parity bad, so the next counted read faults. Returns
+    /// `false` (and does nothing) when `abs` is out of range or the
+    /// mask is zero.
+    pub fn corrupt(&mut self, abs: u32, mask: u64) -> bool {
+        if mask == 0 {
+            return false;
+        }
+        match self.words.get_mut(abs as usize) {
+            Some(slot) => {
+                *slot = Word::new(slot.raw() ^ mask);
+                self.poisoned.insert(abs);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if the word at `abs` currently has bad parity. The fast
+    /// path consults this on every probe peek so a poisoned word bails
+    /// to the slow path, which raises the fault.
+    #[inline]
+    pub fn is_poisoned(&self, abs: AbsAddr) -> bool {
+        !self.poisoned.is_empty() && self.poisoned.contains(&abs.value())
+    }
+
+    /// Clears the poison on `abs` without touching its contents
+    /// (supervisor recovery that abandons the word, e.g. when the
+    /// owning process is killed). Returns whether it was poisoned.
+    pub fn clear_poison(&mut self, abs: u32) -> bool {
+        self.poisoned.remove(&abs)
+    }
+
+    /// Number of currently poisoned words (latent parity faults).
+    pub fn poison_count(&self) -> u64 {
+        self.poisoned.len() as u64
+    }
+
+    /// Latent parity words healed by ordinary writes.
+    pub fn repaired_count(&self) -> u64 {
+        self.repaired
+    }
+
+    /// One past the highest address ever written.
+    pub fn high_water(&self) -> u32 {
+        self.high_water
+    }
+
+    /// The poisoned-address set, sorted (for machine-image capture).
+    pub fn poison_export(&self) -> Vec<u32> {
+        self.poisoned.iter().copied().collect()
+    }
+
+    /// Restores chaos-visible state from a machine image: the poison
+    /// set, the repair counter, and the high-water mark (which image
+    /// repopulation alone cannot reproduce when the highest word ever
+    /// written has since become zero).
+    pub fn restore_chaos_state(&mut self, poisoned: &[u32], repaired: u64, high_water: u32) {
+        self.poisoned = poisoned.iter().copied().collect();
+        self.repaired = repaired;
+        self.high_water = high_water;
     }
 
     /// Total counted references (reads + writes).
@@ -203,5 +308,76 @@ mod tests {
     #[should_panic(expected = "too large")]
     fn oversized_memory_rejected() {
         let _ = PhysMem::new(PhysMem::MAX_WORDS + 1);
+    }
+
+    #[test]
+    fn corrupt_word_faults_on_counted_read_only() {
+        let mut m = PhysMem::new(16);
+        let a = AbsAddr::new(3).unwrap();
+        m.poke(a, Word::new(0o70)).unwrap();
+        assert!(m.corrupt(3, 0o7));
+        assert!(m.is_poisoned(a));
+        // The peek sees the scrambled contents without a fault.
+        assert_eq!(m.peek(a).unwrap(), Word::new(0o77));
+        assert!(matches!(m.read(a), Err(Fault::ParityError { abs: 3 })));
+        assert_eq!(m.read_count(), 1, "the faulting read still counted");
+    }
+
+    #[test]
+    fn write_repairs_poison_and_counts_it() {
+        let mut m = PhysMem::new(16);
+        let a = AbsAddr::new(5).unwrap();
+        assert!(m.corrupt(5, 1));
+        m.write(a, Word::new(9)).unwrap();
+        assert!(!m.is_poisoned(a));
+        assert_eq!(m.repaired_count(), 1);
+        assert_eq!(m.read(a).unwrap(), Word::new(9));
+    }
+
+    #[test]
+    fn poke_and_clear_poison_repair_silently() {
+        let mut m = PhysMem::new(16);
+        assert!(m.corrupt(1, 1));
+        m.poke(AbsAddr::new(1).unwrap(), Word::ZERO).unwrap();
+        assert_eq!(m.poison_count(), 0);
+        assert_eq!(m.repaired_count(), 0, "poke is repair, not a race");
+        assert!(m.corrupt(2, 1));
+        assert!(m.clear_poison(2));
+        assert!(!m.clear_poison(2));
+        assert_eq!(m.repaired_count(), 0);
+    }
+
+    #[test]
+    fn corrupt_rejects_out_of_range_and_zero_mask() {
+        let mut m = PhysMem::new(4);
+        assert!(!m.corrupt(4, 1));
+        assert!(!m.corrupt(0, 0));
+        assert_eq!(m.poison_count(), 0);
+    }
+
+    #[test]
+    fn chaos_state_round_trips() {
+        let mut m = PhysMem::new(32);
+        m.poke(AbsAddr::new(20).unwrap(), Word::new(1)).unwrap();
+        m.corrupt(7, 1);
+        m.corrupt(9, 2);
+        m.write(AbsAddr::new(9).unwrap(), Word::ZERO).unwrap();
+        let poison = m.poison_export();
+        assert_eq!(poison, vec![7]);
+        let mut fresh = PhysMem::new(32);
+        fresh.restore_chaos_state(&poison, m.repaired_count(), m.high_water());
+        assert!(fresh.is_poisoned(AbsAddr::new(7).unwrap()));
+        assert_eq!(fresh.repaired_count(), 1);
+        assert_eq!(fresh.high_water(), 21);
+    }
+
+    #[test]
+    fn high_water_tracks_writes_and_pokes() {
+        let mut m = PhysMem::new(64);
+        assert_eq!(m.high_water(), 0);
+        m.poke(AbsAddr::new(10).unwrap(), Word::new(1)).unwrap();
+        m.write(AbsAddr::new(40).unwrap(), Word::new(1)).unwrap();
+        m.poke(AbsAddr::new(5).unwrap(), Word::new(1)).unwrap();
+        assert_eq!(m.high_water(), 41);
     }
 }

@@ -36,6 +36,12 @@ use crate::sdw_cache::{CacheStats, SdwCache, SdwCacheState};
 pub struct Translator {
     cache: SdwCache,
     tlb: RingTlb,
+    /// Segments whose fast path has been disabled (graceful degradation
+    /// after repeated corruption detections). Sorted for binary search
+    /// and canonical serialization.
+    veto_segs: Vec<u32>,
+    /// Fast path disabled machine-wide.
+    veto_global: bool,
 }
 
 impl Translator {
@@ -45,7 +51,16 @@ impl Translator {
         Translator {
             cache: SdwCache::new(cache_capacity),
             tlb: RingTlb::new(),
+            veto_segs: Vec::new(),
+            veto_global: false,
         }
+    }
+
+    /// True when the fast path is vetoed for `segno` (or globally).
+    #[inline]
+    fn vetoed(&self, segno: ring_core::addr::SegNo) -> bool {
+        self.veto_global
+            || (!self.veto_segs.is_empty() && self.veto_segs.binary_search(&segno.value()).is_ok())
     }
 
     /// Retrieves the SDW for `addr.segno`, from the associative memory
@@ -188,18 +203,27 @@ impl Translator {
         ring: Ring,
         mode: AccessMode,
     ) -> Option<FastHit> {
+        if self.vetoed(addr.segno) {
+            return None;
+        }
         self.tlb.probe(phys, addr, ring, mode)
     }
 
     /// Fast-path probe of a read-modify-write reference. Pure.
     #[inline(always)]
     pub fn fast_probe_rw(&self, phys: &PhysMem, addr: SegAddr, ring: Ring) -> Option<FastHit> {
+        if self.vetoed(addr.segno) {
+            return None;
+        }
         self.tlb.probe_rw(phys, addr, ring)
     }
 
     /// Fast-path probe of the Fig. 7 transfer verdict. Pure.
     #[inline(always)]
     pub fn fast_probe_transfer(&self, addr: SegAddr, ring: Ring) -> bool {
+        if self.vetoed(addr.segno) {
+            return false;
+        }
         self.tlb.probe_transfer(addr, ring)
     }
 
@@ -216,7 +240,7 @@ impl Translator {
         sdw: &Sdw,
         slow_fetch: bool,
     ) {
-        if !self.cache.contains(addr.segno) {
+        if self.vetoed(addr.segno) || !self.cache.contains(addr.segno) {
             return;
         }
         self.tlb.install(phys, addr, ring, sdw, slow_fetch);
@@ -247,6 +271,80 @@ impl Translator {
     /// Fast-path lookaside statistics.
     pub fn tlb_stats(&self) -> TlbStats {
         self.tlb.stats()
+    }
+
+    /// Disables the fast path for one segment (graceful degradation
+    /// after repeated corruption). Existing lookaside entries for the
+    /// segment are dropped.
+    pub fn set_fast_veto(&mut self, segno: u32) {
+        if let Err(i) = self.veto_segs.binary_search(&segno) {
+            self.veto_segs.insert(i, segno);
+        }
+        if let Some(sn) = ring_core::addr::SegNo::new(segno) {
+            self.tlb.invalidate_segment(sn);
+        }
+    }
+
+    /// Disables the fast path machine-wide.
+    pub fn set_global_fast_veto(&mut self) {
+        self.veto_global = true;
+        self.tlb.flush();
+    }
+
+    /// The degradation state, for machine-image capture.
+    pub fn fast_veto_export(&self) -> (Vec<u32>, bool) {
+        (self.veto_segs.clone(), self.veto_global)
+    }
+
+    /// Restores a captured degradation state.
+    pub fn fast_veto_restore(&mut self, segs: &[u32], global: bool) {
+        self.veto_segs = segs.to_vec();
+        self.veto_segs.sort_unstable();
+        self.veto_global = global;
+    }
+
+    /// Chaos hook: invalidates every cached translation for `segno`
+    /// (associative memory and lookaside) after its in-memory
+    /// descriptor or page table was damaged, so the next reference
+    /// re-walks memory and meets the parity error there — a corrupted
+    /// word must not be outlived by a clean cached copy of it.
+    pub fn chaos_invalidate(&mut self, segno: ring_core::addr::SegNo) {
+        self.cache.invalidate(segno);
+        self.tlb.invalidate_segment(segno);
+    }
+
+    /// Chaos hook: damages one live translation-cache entry. `pick`
+    /// chooses the victim deterministically; even picks hit the
+    /// lookaside, odd picks the SDW associative memory (falling back
+    /// to the other when the first is empty). Cache parity detects the
+    /// damage on the spot, so the entry is simply discarded — the
+    /// recovery is a re-walk. Returns the segment affected, or `None`
+    /// when both caches were empty.
+    pub fn chaos_corrupt_cache(&mut self, pick: u64, which: u64) -> Option<u32> {
+        let tlb_first = which.is_multiple_of(2);
+        if tlb_first {
+            if let Some(seg) = self.tlb.chaos_discard(pick) {
+                return Some(seg);
+            }
+        }
+        let occupied: Vec<ring_core::addr::SegNo> = self
+            .cache
+            .export_state()
+            .entries
+            .into_iter()
+            .flatten()
+            .map(|(segno, _)| segno)
+            .collect();
+        if !occupied.is_empty() {
+            let segno = occupied[(pick % occupied.len() as u64) as usize];
+            self.cache.invalidate(segno);
+            self.tlb.invalidate_segment(segno);
+            return Some(segno.value());
+        }
+        if !tlb_first {
+            return self.tlb.chaos_discard(pick);
+        }
+        None
     }
 }
 

@@ -215,7 +215,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Copy a full UTF-8 scalar starting here.
                 let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = s.chars().next().unwrap();
+                let c = s.chars().next().ok_or("unexpected end of string")?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -25,6 +25,11 @@
 //! storm [n] [pages] [rounds] [frames]
 //!                          run an n-process demand-paging storm under
 //!                          the preemptive scheduler (see docs/KERNEL.md)
+//! chaos <seed> [rate] [n]  run the paging storm under a seeded
+//!                          fault-injection campaign (mean one fault
+//!                          per [rate] cycles, default 5000) and report
+//!                          what the supervisor recovered, killed or
+//!                          degraded (see docs/RELIABILITY.md)
 //! stats                    supervisor + machine statistics, scheduler
 //!                          counters, ring crossings and SDW-cache
 //!                          behaviour
@@ -66,6 +71,9 @@ impl Shell {
                 println!("asm <file> | run <segno> [entry] | cat <path> | ps | logout | stats | heatmap | metrics [file] | tty | audit | quit");
                 println!(
                     "storm [procs] [pages] [rounds] [frames]   run a multiprogramming page storm"
+                );
+                println!(
+                    "chaos <seed> [rate] [procs]               page storm under fault injection"
                 );
             }
             ["login", user] => {
@@ -282,6 +290,65 @@ impl Shell {
                     self.sys.machine.cycles(),
                     installed.len()
                 );
+                self.current = Some(installed[0].pid);
+            }
+            ["chaos", rest @ ..] => {
+                // The paging storm again, but under a seeded fault
+                // campaign: the supervisor must recover, confine or
+                // degrade around every injection.
+                let Some(seed) = rest.first().and_then(|v| v.parse::<u64>().ok()) else {
+                    println!("  chaos <seed> [rate-cycles] [procs]");
+                    return true;
+                };
+                let rate: u64 = rest.get(1).and_then(|v| v.parse().ok()).unwrap_or(5_000);
+                let procs: usize = rest.get(2).and_then(|v| v.parse().ok()).unwrap_or(3);
+                if rate == 0 || procs == 0 {
+                    println!("  chaos <seed> [rate-cycles>=1] [procs>=1]");
+                    return true;
+                }
+                {
+                    let mut st = self.sys.state.borrow_mut();
+                    if st.frames.is_none() {
+                        st.frames = Some(multiring::segmem::FramePool::new(16));
+                    }
+                }
+                self.sys.enable_chaos(multiring::cpu::FaultPlan::Campaign {
+                    seed,
+                    mean_interval: rate,
+                });
+                let spec = multiring::os::workload::StormSpec {
+                    procs,
+                    pages: 5,
+                    rounds: 10,
+                };
+                let installed = multiring::os::workload::install_page_storm(&mut self.sys, &spec);
+                let quantum = self.sys.state.borrow().quantum;
+                self.sys.machine.set_timer(Some(quantum));
+                let exit = self.sys.machine.run(5_000_000);
+                let cs = self.sys.chaos_stats();
+                let e = self.sys.machine.chaos();
+                println!(
+                    "  {exit:?} after {} cycles; {} injected, {} detected, {} recovered, \
+                     {} killed, {} salvaged, {} refetched, {} drum retries, {} io timeouts",
+                    self.sys.machine.cycles(),
+                    e.injected_total(),
+                    e.detected_total(),
+                    cs.recovered,
+                    cs.killed,
+                    cs.salvaged,
+                    cs.refetched,
+                    cs.drum_retries,
+                    cs.io_timeouts
+                );
+                println!(
+                    "  degraded: {} segment(s), global={}",
+                    e.degraded_segs().len(),
+                    e.degraded_global()
+                );
+                match self.sys.check_invariants() {
+                    Ok(()) => println!("  invariants OK"),
+                    Err(msg) => println!("  INVARIANT VIOLATION: {msg}"),
+                }
                 self.current = Some(installed[0].pid);
             }
             ["stats"] => {

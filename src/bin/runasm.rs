@@ -8,6 +8,7 @@
 //!                    [--replay <file>] [--checkpoint-every N]
 //!                    [--procs N] [--quantum N] [--frames N]
 //!                    [--pages N] [--rounds N]
+//!                    [--chaos-seed N] [--chaos-rate N] [--chaos-plan <file>]
 //! ```
 //!
 //! The program is loaded into segment 10 of a bare world (standard
@@ -54,6 +55,25 @@
 //! timer-interrupt delivery point, the metrics snapshot gains the
 //! `scheduler` section, and the Perfetto export gains one track per
 //! process.
+//!
+//! Chaos options (require `--procs`; see `docs/RELIABILITY.md`):
+//!
+//! * `--chaos-seed N` — arm a seeded fault-injection campaign: parity
+//!   errors, descriptor/page-table/TLB corruption, drum errors, lost
+//!   I/O completions and spurious timer runouts, drawn from a
+//!   deterministic PRNG stream. Identical seeds produce bit-identical
+//!   runs (and recordings).
+//! * `--chaos-rate N` — mean cycles between injections (default 5000).
+//! * `--chaos-plan <file>` — explicit schedule instead of a campaign:
+//!   one `CYCLE KIND` pair per line (kinds: `mem_parity`,
+//!   `sdw_corrupt`, `ptw_corrupt`, `drum_read_error`,
+//!   `drum_write_error`, `lost_io_completion`, `tlb_corrupt`,
+//!   `spurious_timer`).
+//!
+//! Under chaos a process abort is confinement, not failure: the run
+//! succeeds as long as the machine survives, every process ends
+//! (cleanly or killed), and the post-run protection-invariant check
+//! passes.
 
 use std::process::ExitCode;
 
@@ -82,6 +102,9 @@ struct Options {
     frames: u32,
     pages: u32,
     rounds: u32,
+    chaos_seed: Option<u64>,
+    chaos_rate: u64,
+    chaos_plan: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -103,6 +126,9 @@ fn parse_args() -> Result<Options, String> {
         frames: 16,
         pages: 5,
         rounds: 30,
+        chaos_seed: None,
+        chaos_rate: 5_000,
+        chaos_plan: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -175,12 +201,30 @@ fn parse_args() -> Result<Options, String> {
                     .filter(|&n| n > 0)
                     .ok_or("--rounds takes a round count >= 1")?;
             }
+            "--chaos-seed" => {
+                opts.chaos_seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--chaos-seed takes a seed number")?,
+                );
+            }
+            "--chaos-rate" => {
+                opts.chaos_rate = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--chaos-rate takes a mean cycle interval >= 1")?;
+            }
+            "--chaos-plan" => {
+                opts.chaos_plan = Some(args.next().ok_or("--chaos-plan takes a file name")?);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm] \
                      [--no-fastpath] [--metrics-out <file>] [--trace-out <file.json>] \
                      [--record <file>] [--replay <file>] [--checkpoint-every N] \
-                     [--procs N [--quantum N] [--frames N] [--pages N] [--rounds N]]"
+                     [--procs N [--quantum N] [--frames N] [--pages N] [--rounds N] \
+                     [--chaos-seed N] [--chaos-rate N] [--chaos-plan <file>]]"
                         .to_string(),
                 )
             }
@@ -193,6 +237,12 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.record.is_some() && opts.replay.is_some() {
         return Err("--record and --replay are mutually exclusive".to_string());
+    }
+    if opts.chaos_seed.is_some() && opts.chaos_plan.is_some() {
+        return Err("--chaos-seed and --chaos-plan are mutually exclusive".to_string());
+    }
+    if (opts.chaos_seed.is_some() || opts.chaos_plan.is_some()) && opts.procs == 0 {
+        return Err("chaos injection requires --procs (recovery lives in the kernel)".to_string());
     }
     Ok(opts)
 }
@@ -373,8 +423,17 @@ fn run_multiproc(opts: &Options) -> ExitCode {
         }
         Some(text)
     };
-    // Building the world is deterministic, so a recording made in one
-    // build replays bit-for-bit in another.
+    let chaos_plan = match chaos_plan_from(opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let chaos = chaos_plan.is_some();
+    // Building the world is deterministic — the chaos engine included,
+    // since it is armed here, before execution — so a recording made
+    // in one build replays bit-for-bit in another.
     let build = || {
         let cfg = SystemConfig {
             quantum: opts.quantum,
@@ -392,6 +451,9 @@ fn run_multiproc(opts: &Options) -> ExitCode {
         }
         if opts.trace_out.is_some() {
             sys.enable_spans();
+        }
+        if let Some(plan) = &chaos_plan {
+            sys.enable_chaos(plan.clone());
         }
         sys.machine.set_timer(Some(opts.quantum));
         (sys, procs)
@@ -466,7 +528,11 @@ fn run_multiproc(opts: &Options) -> ExitCode {
             let status = match ps.aborted.as_deref() {
                 Some("exit") => "exited".to_string(),
                 Some(r) => {
-                    all_ok = false;
+                    // Under chaos a kill is successful confinement,
+                    // not a run failure.
+                    if !chaos {
+                        all_ok = false;
+                    }
                     format!("ABORTED ({r})")
                 }
                 None => {
@@ -496,6 +562,38 @@ fn run_multiproc(opts: &Options) -> ExitCode {
         sys.machine.cycles(),
         sys.machine.stats().instructions
     );
+    if chaos {
+        let cs = sys.chaos_stats();
+        let e = sys.machine.chaos();
+        println!(
+            "chaos: {} injected, {} detected, {} recovered, {} killed, {} salvaged, \
+             {} refetched, {} drum retries, {} io timeouts, degraded segs={} global={}",
+            e.injected_total(),
+            e.detected_total(),
+            cs.recovered,
+            cs.killed,
+            cs.salvaged,
+            cs.refetched,
+            cs.drum_retries,
+            cs.io_timeouts,
+            e.degraded_segs().len(),
+            e.degraded_global()
+        );
+        match sys.check_invariants() {
+            Ok(()) => println!("chaos: post-run invariant check OK"),
+            Err(msg) => {
+                eprintln!("chaos: INVARIANT VIOLATION: {msg}");
+                all_ok = false;
+            }
+        }
+        if cs.invariant_failures > 0 {
+            eprintln!(
+                "chaos: {} recovery-time invariant failures",
+                cs.invariant_failures
+            );
+            all_ok = false;
+        }
+    }
     if let Some(path) = &opts.metrics_out {
         let snap = sys.metrics_snapshot();
         let body = if path.ends_with(".csv") {
@@ -523,6 +621,21 @@ fn run_multiproc(opts: &Options) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Builds the fault plan the chaos flags ask for, if any.
+fn chaos_plan_from(opts: &Options) -> Result<Option<multiring::cpu::FaultPlan>, String> {
+    if let Some(path) = &opts.chaos_plan {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let plan = multiring::cpu::FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(Some(plan));
+    }
+    Ok(opts
+        .chaos_seed
+        .map(|seed| multiring::cpu::FaultPlan::Campaign {
+            seed,
+            mean_interval: opts.chaos_rate,
+        }))
 }
 
 /// Writes the post-run artifacts (metrics snapshot, Perfetto trace).
