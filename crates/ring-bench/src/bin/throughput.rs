@@ -33,9 +33,14 @@
 //! no-crossing cost — and on the gate storm, which emits two events
 //! per iteration;
 //! the report's `spans` block carries both runs and the slowdown
-//! factor. `--quick` shrinks iteration counts to one short pass for
-//! CI smoke runs; the report then carries `"quick": true` so nobody
-//! mistakes the numbers for measurements.
+//! factor. A third section (`prof`) prices the sampling profiler and
+//! time-series pipeline the same way — on versus off, same engine —
+//! and the harness *fails* if profiling slows the tight loop beyond
+//! 1.15x, since the profiler is designed to be left on. `--quick`
+//! shrinks iteration counts to one short pass for CI smoke runs; the
+//! report then carries `"quick": true` so nobody mistakes the numbers
+//! for measurements (the profiler gate widens to a 2x sanity bound
+//! there, wall-clock ratios on millisecond runs being noise).
 
 use std::time::Instant;
 
@@ -325,6 +330,92 @@ fn measure_spans(
     }
 }
 
+struct ProfOverheadReport {
+    name: &'static str,
+    samples: u64,
+    timeseries_points: u64,
+    disabled: EngineRun,
+    enabled: EngineRun,
+    /// Slowdown factor of profiling: disabled ips / enabled ips.
+    overhead: f64,
+    cycles_equal: bool,
+}
+
+/// One fastpath-engine run of `build`'s workload with the sampling
+/// profiler and time-series pipeline on or off; returns the run plus
+/// the samples and time-series points recorded.
+fn run_with_prof(
+    build: fn(bool, u64) -> World,
+    iters: u64,
+    budget: u64,
+    prof: bool,
+) -> (EngineRun, u64, u64) {
+    let mut w = build(true, iters);
+    if prof {
+        w.machine.enable_profiler(1_000, 5_000);
+    }
+    let start = Instant::now();
+    let exit = w.machine.run(budget);
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(exit, RunExit::Halted, "workload did not run to completion");
+    let instructions = w.machine.stats().instructions;
+    let samples = w.machine.profiler().samples();
+    let points = w.machine.timeseries().len() as u64;
+    (
+        EngineRun {
+            seconds,
+            ips: instructions as f64 / seconds.max(1e-9),
+            instructions,
+            cycles: w.machine.cycles(),
+        },
+        samples,
+        points,
+    )
+}
+
+/// Profiler overhead on one workload: same engine (fastpath), sampling
+/// profiler + time series on versus off, interleaved best-of-N.
+/// Profiling must never change simulated cycles, and the wall-clock
+/// price on the tight loop is gated at 1.15x — the profiler is meant
+/// to be left on.
+fn measure_prof(
+    name: &'static str,
+    iters: u64,
+    passes: u32,
+    build: fn(bool, u64) -> World,
+) -> ProfOverheadReport {
+    let budget = 64 * iters + 10_000;
+    run_with_prof(build, iters.min(1000), budget, true);
+    run_with_prof(build, iters.min(1000), budget, false);
+    let mut on_best: Option<(EngineRun, u64, u64)> = None;
+    let mut off_best: Option<EngineRun> = None;
+    for _ in 0..passes.max(1) {
+        let on = run_with_prof(build, iters, budget, true);
+        if on_best.as_ref().is_none_or(|b| on.0.seconds < b.0.seconds) {
+            on_best = Some(on);
+        }
+        let (off, _, _) = run_with_prof(build, iters, budget, false);
+        if off_best.as_ref().is_none_or(|b| off.seconds < b.seconds) {
+            off_best = Some(off);
+        }
+    }
+    let (enabled, samples, timeseries_points) = on_best.expect("at least one pass");
+    let disabled = off_best.expect("at least one pass");
+    assert_eq!(
+        enabled.cycles, disabled.cycles,
+        "{name}: profiling changed simulated cycles"
+    );
+    ProfOverheadReport {
+        name,
+        samples,
+        timeseries_points,
+        overhead: disabled.ips / enabled.ips.max(1e-9),
+        cycles_equal: enabled.cycles == disabled.cycles,
+        disabled,
+        enabled,
+    }
+}
+
 fn engine_json(run: &EngineRun) -> String {
     format!(
         "{{\"seconds\": {:.6}, \"ips\": {:.1}, \"instructions\": {}, \"cycles\": {}}}",
@@ -354,6 +445,24 @@ fn main() {
         measure_spans("tight_loop", iters, passes, tight_loop),
         measure_spans("gate_storm", iters / 5, passes, gate_storm),
     ];
+    let prof_reports = [
+        measure_prof("tight_loop", iters, passes, tight_loop),
+        measure_prof("gate_storm", iters / 5, passes, gate_storm),
+    ];
+    // The profiler is designed to be left on, so its price on the
+    // all-fast-path loop is a hard gate. Quick CI runs are too short
+    // for stable wall-clock ratios, so they get a wide sanity bound
+    // instead of the real budget.
+    let budget_factor = if quick { 2.0 } else { 1.15 };
+    for p in &prof_reports {
+        if p.name == "tight_loop" {
+            assert!(
+                p.overhead <= budget_factor,
+                "profiler overhead on tight_loop is {:.3}x (> {budget_factor}x budget)",
+                p.overhead
+            );
+        }
+    }
 
     println!(
         "{:<16} {:>12} {:>14} {:>14} {:>9}",
@@ -373,6 +482,16 @@ fn main() {
         println!(
             "{:<16} {:>12} {:>14.0} {:>14.0} {:>8.2}x",
             s.name, s.span_events, s.disabled.ips, s.enabled.ips, s.overhead
+        );
+    }
+    println!(
+        "\n{:<16} {:>12} {:>14} {:>14} {:>9}",
+        "profiler", "samples", "disabled ips", "enabled ips", "overhead"
+    );
+    for p in &prof_reports {
+        println!(
+            "{:<16} {:>12} {:>14.0} {:>14.0} {:>8.2}x",
+            p.name, p.samples, p.disabled.ips, p.enabled.ips, p.overhead
         );
     }
 
@@ -406,8 +525,24 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let prof = prof_reports
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"name\": \"{}\", \"samples\": {}, \"timeseries_points\": {}, \"disabled\": {}, \"enabled\": {}, \"overhead\": {:.3}, \"cycles_equal\": {}}}",
+                p.name,
+                p.samples,
+                p.timeseries_points,
+                engine_json(&p.disabled),
+                engine_json(&p.enabled),
+                p.overhead,
+                p.cycles_equal
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"schema\": \"ring-bench/throughput/v1\",\n  \"quick\": {quick},\n  \"workloads\": [\n{workloads}\n  ],\n  \"spans\": [\n{spans}\n  ]\n}}\n"
+        "{{\n  \"schema\": \"ring-bench/throughput/v1\",\n  \"quick\": {quick},\n  \"workloads\": [\n{workloads}\n  ],\n  \"spans\": [\n{spans}\n  ],\n  \"prof\": [\n{prof}\n  ]\n}}\n"
     );
     std::fs::write(&out, json).expect("write report");
     println!("wrote {out}");

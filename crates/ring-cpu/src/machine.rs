@@ -225,6 +225,8 @@ pub struct Machine {
     pub(crate) spans: ring_trace::SpanRecorder,
     pub(crate) chaos: ring_chaos::ChaosEngine,
     pub(crate) chaos_protect: Vec<(u32, u32)>,
+    pub(crate) prof: ring_prof::Profiler,
+    pub(crate) timeseries: ring_prof::TimeSeries,
 }
 
 impl Machine {
@@ -262,6 +264,8 @@ impl Machine {
             spans: ring_trace::SpanRecorder::new(),
             chaos: ring_chaos::ChaosEngine::off(),
             chaos_protect: Vec::new(),
+            prof: ring_prof::Profiler::default(),
+            timeseries: ring_prof::TimeSeries::default(),
         }
     }
 
@@ -463,7 +467,35 @@ impl Machine {
 
     /// Drains the recorded span events (the recorder stays enabled).
     pub fn take_span_events(&mut self) -> Vec<ring_trace::SpanEvent> {
+        self.prof.note_drained(self.spans.events());
         self.spans.take_events()
+    }
+
+    /// Attaches the cycle-driven sampling profiler (`ring-prof`):
+    /// every `sample_every` simulated cycles a weighted stack sample
+    /// is taken at a step boundary (never inside a trap), and every
+    /// `timeseries_every` cycles the full metrics snapshot is recorded
+    /// for interval telemetry. Either period can be zero to disable
+    /// that pipeline. Enabling the profiler also enables the span
+    /// recorder (the sampled stacks are derived from it). Profiling is
+    /// purely observational: simulated cycles, registers and faults
+    /// are bit-identical with it on or off.
+    pub fn enable_profiler(&mut self, sample_every: u64, timeseries_every: u64) {
+        self.prof = ring_prof::Profiler::new(sample_every);
+        self.timeseries = ring_prof::TimeSeries::new(timeseries_every);
+        if sample_every > 0 {
+            self.spans.enable();
+        }
+    }
+
+    /// The sampling profiler (read-only).
+    pub fn profiler(&self) -> &ring_prof::Profiler {
+        &self.prof
+    }
+
+    /// The interval time-series pipeline (read-only).
+    pub fn timeseries(&self) -> &ring_prof::TimeSeries {
+        &self.timeseries
     }
 
     /// Notes that the supervisor dispatched process `pid` at the
@@ -516,6 +548,13 @@ impl Machine {
             },
             self.fastpath_stats(),
         );
+        snap.prof = ring_metrics::ProfStats {
+            samples: self.prof.samples(),
+            sample_every: self.prof.sample_every(),
+            timeseries_points: self.timeseries.len() as u64,
+            timeseries_every: self.timeseries.every(),
+        };
+        snap.trace_dropped = self.trace.dropped();
         if self.chaos.enabled() {
             for (k, v) in self.chaos.export_pairs() {
                 snap.push_extra(k, v);
@@ -781,6 +820,22 @@ impl Machine {
         // injection obeys the same eligibility window, so it is part of
         // the deterministic simulated state and replays identically.
         if !self.in_trap {
+            // The profiler samples at the same eligibility window:
+            // deterministic in simulated cycles, purely observational
+            // (no counted memory references), so cycle counts are
+            // identical with it on or off.
+            if self.prof.due(self.cycles) {
+                let (cycles, ring, segno) = (
+                    self.cycles,
+                    self.ipr.ring.number(),
+                    self.ipr.addr.segno.value(),
+                );
+                self.prof.tick(cycles, ring, segno, self.spans.events());
+            }
+            if self.timeseries.due(self.cycles) {
+                let snap = self.metrics_snapshot();
+                self.timeseries.record(self.cycles, snap);
+            }
             if self.chaos.enabled() {
                 self.chaos_tick();
             }

@@ -50,7 +50,8 @@ pub use heatmap::{SegHeat, SegmentHeatmap};
 pub use hist::CycleHistogram;
 pub use ring_buffer::EventRing;
 pub use snapshot::{
-    json_escape, FastPathStats, HistogramSnapshot, MetricsSnapshot, SchedStats, SdwCacheStats,
+    json_escape, FastPathStats, HistogramSnapshot, MetricsSnapshot, ProfStats, SchedStats,
+    SdwCacheStats,
 };
 
 use ring_core::access::{AccessMode, Fault};

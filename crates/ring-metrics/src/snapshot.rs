@@ -106,6 +106,48 @@ impl SchedStats {
     pub fn page_faults(&self) -> u64 {
         self.page_faults_minor + self.page_faults_major
     }
+
+    fn merge(&mut self, other: &SchedStats) {
+        self.context_switches += other.context_switches;
+        self.preemptions += other.preemptions;
+        self.page_faults_minor += other.page_faults_minor;
+        self.page_faults_major += other.page_faults_major;
+        self.evictions += other.evictions;
+        self.io_blocks += other.io_blocks;
+        self.page_blocks += other.page_blocks;
+        self.idle_cycles += other.idle_cycles;
+    }
+}
+
+/// Cycle-driven profiler statistics (the `ring-prof` sampling profiler
+/// and time-series pipeline), mirrored here so snapshot consumers need
+/// no `ring-prof` dependency. All-zero when no profiler is attached;
+/// assigned after [`MetricsSnapshot::new`] like [`SchedStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfStats {
+    /// Stack samples captured.
+    pub samples: u64,
+    /// Sampling period in simulated cycles (0 = profiler off).
+    pub sample_every: u64,
+    /// Time-series points recorded.
+    pub timeseries_points: u64,
+    /// Time-series interval in simulated cycles (0 = pipeline off).
+    pub timeseries_every: u64,
+}
+
+impl ProfStats {
+    fn merge(&mut self, other: &ProfStats) {
+        self.samples += other.samples;
+        self.timeseries_points += other.timeseries_points;
+        // The periods are configuration, not counters: keep ours unless
+        // unset (so merging an unprofiled run is the identity).
+        if self.sample_every == 0 {
+            self.sample_every = other.sample_every;
+        }
+        if self.timeseries_every == 0 {
+            self.timeseries_every = other.timeseries_every;
+        }
+    }
 }
 
 /// A bucketed histogram flattened for export.
@@ -135,6 +177,52 @@ impl HistogramSnapshot {
             mean: h.mean(),
             buckets: h.nonzero_buckets().collect(),
         }
+    }
+
+    /// Folds `other` into this histogram: counts add, bucket lists
+    /// merge by range, and min/max/mean are recomputed exactly as if
+    /// every observation had landed in one histogram. Because both
+    /// sides bucket on identical log₂ boundaries, merging snapshots of
+    /// two runs equals the snapshot of their concatenation.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.mean = self.sum as f64 / self.count as f64;
+        for (lo, hi, c) in &other.buckets {
+            match self.buckets.iter_mut().find(|(l, h, _)| l == lo && h == hi) {
+                Some((_, _, mine)) => *mine += c,
+                None => self.buckets.push((*lo, *hi, *c)),
+            }
+        }
+        self.buckets.sort_by_key(|(lo, _, _)| *lo);
+    }
+
+    /// The value at quantile `p` in `[0, 1]`, resolved to bucket
+    /// granularity: the upper bound of the bucket holding the rank-`p`
+    /// observation, clamped to the exact observed `[min, max]`. Zero
+    /// when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (_, hi, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return (*hi).clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -187,6 +275,13 @@ pub struct MetricsSnapshot {
     /// multiprogrammed runs; assigned by the kernel after
     /// [`MetricsSnapshot::new`], which keeps its signature stable).
     pub sched: SchedStats,
+    /// Sampling-profiler statistics (all-zero when no profiler is
+    /// attached; assigned after [`MetricsSnapshot::new`]).
+    pub prof: ProfStats,
+    /// Execution-trace events discarded by the drop-oldest ring buffer
+    /// (assigned after [`MetricsSnapshot::new`]; zero when tracing is
+    /// off or the buffer never wrapped).
+    pub trace_dropped: u64,
     /// Namespaced supplementary counters (the supervisor contributes
     /// `os.*` keys: gate transits, ACL denials, per-process crossings).
     pub extra: Vec<(String, u64)>,
@@ -232,8 +327,84 @@ impl MetricsSnapshot {
             sdw_cache,
             fastpath,
             sched: SchedStats::default(),
+            prof: ProfStats::default(),
+            trace_dropped: 0,
             extra: Vec::new(),
         }
+    }
+
+    /// Folds `other` into this snapshot for fleet roll-up: every
+    /// counter sums, histograms and heatmaps merge, and the derived
+    /// ratios/percentiles are recomputed over the combined data — so
+    /// merging the snapshots of two disjoint runs equals the snapshot
+    /// of their concatenation for every counter.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        fn merge_keyed<K: PartialEq + Clone>(mine: &mut Vec<(K, u64)>, theirs: &[(K, u64)]) {
+            for (key, v) in theirs {
+                match mine.iter_mut().find(|(k, _)| k == key) {
+                    Some((_, have)) => *have += v,
+                    None => mine.push((key.clone(), *v)),
+                }
+            }
+        }
+        self.enabled |= other.enabled;
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        merge_keyed(&mut self.crossings, &other.crossings);
+        for (mine, theirs) in self
+            .crossing_matrix
+            .iter_mut()
+            .zip(other.crossing_matrix.iter())
+        {
+            for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+                *m += t;
+            }
+        }
+        self.ring_changes += other.ring_changes;
+        merge_keyed(&mut self.faults_by_vector, &other.faults_by_vector);
+        for (m, t) in self.faults_by_ring.iter_mut().zip(other.faults_by_ring) {
+            *m += t;
+        }
+        self.faults_total += other.faults_total;
+        merge_keyed(&mut self.opcode_classes, &other.opcode_classes);
+        for (m, t) in self.instr_by_ring.iter_mut().zip(other.instr_by_ring) {
+            *m += t;
+        }
+        self.call_cycles.merge(&other.call_cycles);
+        self.return_cycles.merge(&other.return_cycles);
+        self.ea_depth.merge(&other.ea_depth);
+        self.tpr_maximisations += other.tpr_maximisations;
+        self.sdw_hit_refs.merge(&other.sdw_hit_refs);
+        self.sdw_miss_refs.merge(&other.sdw_miss_refs);
+        for (segno, theirs) in &other.heatmap {
+            match self.heatmap.iter_mut().find(|(s, _)| s == segno) {
+                Some((_, mine)) => {
+                    mine.reads += theirs.reads;
+                    mine.writes += theirs.writes;
+                    mine.executes += theirs.executes;
+                    mine.violations += theirs.violations;
+                }
+                None => self.heatmap.push((*segno, *theirs)),
+            }
+        }
+        self.heatmap.sort_by_key(|(segno, _)| *segno);
+        self.sdw_cache.hits += other.sdw_cache.hits;
+        self.sdw_cache.misses += other.sdw_cache.misses;
+        self.sdw_cache.flushes += other.sdw_cache.flushes;
+        self.sdw_cache.invalidations += other.sdw_cache.invalidations;
+        self.fastpath.fast_instructions += other.fastpath.fast_instructions;
+        self.fastpath.slow_instructions += other.fastpath.slow_instructions;
+        self.fastpath.tlb_hits += other.fastpath.tlb_hits;
+        self.fastpath.tlb_misses += other.fastpath.tlb_misses;
+        self.fastpath.tlb_installs += other.fastpath.tlb_installs;
+        self.fastpath.tlb_invalidations += other.fastpath.tlb_invalidations;
+        self.fastpath.tlb_flushes += other.fastpath.tlb_flushes;
+        self.fastpath.icache_hits += other.fastpath.icache_hits;
+        self.fastpath.icache_misses += other.fastpath.icache_misses;
+        self.sched.merge(&other.sched);
+        self.prof.merge(&other.prof);
+        self.trace_dropped += other.trace_dropped;
+        merge_keyed(&mut self.extra, &other.extra);
     }
 
     /// Appends a namespaced supplementary counter (e.g.
@@ -370,6 +541,20 @@ impl MetricsSnapshot {
             self.sched.idle_cycles,
         ));
 
+        out.push_str(&format!(
+            "  \"prof\": {{\"samples\": {}, \"sample_every\": {}, \
+             \"timeseries_points\": {}, \"timeseries_every\": {}}},\n",
+            self.prof.samples,
+            self.prof.sample_every,
+            self.prof.timeseries_points,
+            self.prof.timeseries_every,
+        ));
+
+        out.push_str(&format!(
+            "  \"trace\": {{\"dropped\": {}}},\n",
+            self.trace_dropped
+        ));
+
         out.push_str("  \"extra\": {");
         out.push_str(
             &self
@@ -430,6 +615,14 @@ impl MetricsSnapshot {
             rows.push((format!("histograms.{key}.min"), h.min.to_string()));
             rows.push((format!("histograms.{key}.max"), h.max.to_string()));
             rows.push((format!("histograms.{key}.mean"), format!("{:.3}", h.mean)));
+            rows.push((
+                format!("histograms.{key}.p50"),
+                h.percentile(0.50).to_string(),
+            ));
+            rows.push((
+                format!("histograms.{key}.p99"),
+                h.percentile(0.99).to_string(),
+            ));
         }
         rows.push((
             "ea.tpr_maximisations".into(),
@@ -487,6 +680,15 @@ impl MetricsSnapshot {
         ] {
             rows.push((format!("scheduler.{key}"), v.to_string()));
         }
+        for (key, v) in [
+            ("samples", self.prof.samples),
+            ("sample_every", self.prof.sample_every),
+            ("timeseries_points", self.prof.timeseries_points),
+            ("timeseries_every", self.prof.timeseries_every),
+        ] {
+            rows.push((format!("prof.{key}"), v.to_string()));
+        }
+        rows.push(("trace.dropped".into(), self.trace_dropped.to_string()));
         for (k, v) in &self.extra {
             rows.push((format!("extra.{k}"), v.to_string()));
         }
@@ -539,12 +741,14 @@ fn json_histogram(h: &HistogramSnapshot) -> String {
         .join(", ");
     format!(
         "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
-         \"buckets\": [{buckets}]}}",
+         \"p50\": {}, \"p99\": {}, \"buckets\": [{buckets}]}}",
         h.count,
         h.sum,
         h.min,
         h.max,
-        json_f64(h.mean)
+        json_f64(h.mean),
+        h.percentile(0.50),
+        h.percentile(0.99)
     )
 }
 
@@ -614,6 +818,13 @@ mod tests {
             page_blocks: 3,
             idle_cycles: 640,
         };
+        s.prof = ProfStats {
+            samples: 42,
+            sample_every: 1000,
+            timeseries_points: 6,
+            timeseries_every: 5000,
+        };
+        s.trace_dropped = 11;
         s.push_extra("os.gate_calls_hcs", 5);
         s
     }
@@ -644,6 +855,12 @@ mod tests {
             "\"context_switches\": 7",
             "\"minor\": 12",
             "\"evictions\": 2",
+            "\"prof\"",
+            "\"samples\": 42",
+            "\"trace\"",
+            "\"dropped\": 11",
+            "\"p50\"",
+            "\"p99\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
@@ -671,6 +888,11 @@ mod tests {
         assert!(csv.contains("fastpath.tlb.hits,150\n"));
         assert!(csv.contains("scheduler.context_switches,7\n"));
         assert!(csv.contains("scheduler.page_faults.major,3\n"));
+        assert!(csv.contains("prof.samples,42\n"));
+        assert!(csv.contains("prof.sample_every,1000\n"));
+        assert!(csv.contains("trace.dropped,11\n"));
+        assert!(csv.contains("histograms.call_cycles.p50,"));
+        assert!(csv.contains("histograms.call_cycles.p99,"));
         assert!(csv.contains("extra.os.gate_calls_hcs,5\n"));
         for line in csv.lines() {
             assert_eq!(line.matches(',').count(), 1, "bad row: {line}");
@@ -689,5 +911,128 @@ mod tests {
         assert_eq!(s.crossing("call_down"), Some(1));
         assert_eq!(s.crossing("upward_call_trap"), Some(0));
         assert_eq!(s.crossing("nonsense"), None);
+    }
+
+    /// Builds a histogram snapshot straight from observations.
+    fn hist_of(values: &[u64]) -> HistogramSnapshot {
+        let mut h = CycleHistogram::default();
+        for v in values {
+            h.record(*v);
+        }
+        HistogramSnapshot::of(&h)
+    }
+
+    #[test]
+    fn percentile_walks_buckets_and_clamps_to_observed_range() {
+        let h = hist_of(&[0; 0]);
+        assert_eq!(h.percentile(0.5), 0, "empty histogram");
+        let h = hist_of(&[7]);
+        assert_eq!(h.percentile(0.5), 7, "single value clamps to max");
+        assert_eq!(h.percentile(0.99), 7);
+        // 99 small values and one huge one: p50 stays in the small
+        // bucket, p99 must land on (the bucket holding) the outlier.
+        let mut vals = vec![3u64; 99];
+        vals.push(1_000_000);
+        let h = hist_of(&vals);
+        assert_eq!(h.percentile(0.50), 3);
+        assert_eq!(h.percentile(0.99), 3);
+        assert_eq!(h.percentile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let (a_vals, b_vals) = ([1u64, 5, 9, 130], [2u64, 9, 4000]);
+        let mut merged = hist_of(&a_vals);
+        merged.merge(&hist_of(&b_vals));
+        let both = hist_of(&[&a_vals[..], &b_vals[..]].concat());
+        assert_eq!(merged.count, both.count);
+        assert_eq!(merged.sum, both.sum);
+        assert_eq!(merged.min, both.min);
+        assert_eq!(merged.max, both.max);
+        assert_eq!(merged.buckets, both.buckets);
+        assert!((merged.mean - both.mean).abs() < 1e-9);
+        for p in [0.5, 0.9, 0.99] {
+            assert_eq!(merged.percentile(p), both.percentile(p));
+        }
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity_both_ways() {
+        let mut a = hist_of(&[4, 4, 17]);
+        let before = a.clone();
+        a.merge(&hist_of(&[]));
+        assert_eq!(a.buckets, before.buckets);
+        assert_eq!(
+            (a.count, a.min, a.max),
+            (before.count, before.min, before.max)
+        );
+        let mut empty = hist_of(&[]);
+        empty.merge(&before);
+        assert_eq!(empty.buckets, before.buckets);
+        assert_eq!(
+            (empty.count, empty.min, empty.max),
+            (before.count, before.min, before.max)
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_sums_every_counter() {
+        let a = sample_snapshot();
+        let b = sample_snapshot();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.instructions, 2 * a.instructions);
+        assert_eq!(merged.cycles, 2 * a.cycles);
+        assert_eq!(merged.crossing("call_down"), Some(2));
+        assert_eq!(merged.crossing_matrix[4][1], 2 * a.crossing_matrix[4][1]);
+        assert_eq!(merged.ring_changes, 2 * a.ring_changes);
+        assert_eq!(merged.faults_total, 2 * a.faults_total);
+        assert_eq!(merged.call_cycles.count, 2 * a.call_cycles.count);
+        assert_eq!(merged.sdw_cache.hits, 2 * a.sdw_cache.hits);
+        assert_eq!(merged.fastpath.fast_instructions, 160);
+        assert_eq!(merged.sched.context_switches, 14);
+        assert_eq!(merged.prof.samples, 84);
+        assert_eq!(
+            merged.prof.sample_every, 1000,
+            "period is config, not a counter"
+        );
+        assert_eq!(merged.trace_dropped, 22);
+        assert_eq!(
+            merged.extra,
+            vec![("os.gate_calls_hcs".to_string(), 10)],
+            "extras merge by key"
+        );
+        let heat = merged.heatmap.iter().find(|(s, _)| *s == 10).unwrap().1;
+        assert_eq!(heat.executes, 2 * a.heatmap[0].1.executes);
+    }
+
+    #[test]
+    fn snapshot_merge_unions_disjoint_keys() {
+        let mut a = sample_snapshot();
+        let mut b = sample_snapshot();
+        a.push_extra("os.only_in_a", 3);
+        b.push_extra("os.only_in_b", 4);
+        b.heatmap.push((
+            99,
+            SegHeat {
+                reads: 1,
+                writes: 2,
+                executes: 3,
+                violations: 0,
+            },
+        ));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let extra = |key: &str| merged.extra.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        assert_eq!(extra("os.only_in_a"), Some(3));
+        assert_eq!(extra("os.only_in_b"), Some(4));
+        assert!(merged
+            .heatmap
+            .iter()
+            .any(|(s, h)| *s == 99 && h.executes == 3));
+        let segnos: Vec<u32> = merged.heatmap.iter().map(|(s, _)| *s).collect();
+        let mut sorted = segnos.clone();
+        sorted.sort_unstable();
+        assert_eq!(segnos, sorted, "heatmap stays ascending after merge");
     }
 }

@@ -339,6 +339,26 @@ impl System {
         self.machine.take_span_events()
     }
 
+    /// Attaches the cycle-driven sampling profiler and time-series
+    /// pipeline (`ring-prof`). Per-process attribution comes free: the
+    /// scheduler's dispatch events ride in the span stream, so sampled
+    /// stacks are rooted at the running process. Either period can be
+    /// zero to disable that pipeline; enabling sampling also enables
+    /// the span recorder.
+    pub fn enable_profiler(&mut self, sample_every: u64, timeseries_every: u64) {
+        self.machine.enable_profiler(sample_every, timeseries_every);
+    }
+
+    /// The sampling profiler (read-only).
+    pub fn profiler(&self) -> &ring_prof::Profiler {
+        self.machine.profiler()
+    }
+
+    /// The interval time-series pipeline (read-only).
+    pub fn timeseries(&self) -> &ring_prof::TimeSeries {
+        self.machine.timeseries()
+    }
+
     /// The cross-ring call tree of the run so far, aggregated per gate
     /// (sorted by total cycles).
     pub fn span_gate_table(&self) -> Vec<ring_trace::GateStat> {

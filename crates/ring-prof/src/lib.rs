@@ -1,0 +1,618 @@
+//! Cycle-attributed profiling for the ring simulator.
+//!
+//! Two pipelines, both driven by **simulated cycles** so they are
+//! deterministic and replay-stable:
+//!
+//! * [`Profiler`] — a sampling profiler. Every `sample_every` cycles,
+//!   at a `Machine::step` boundary (never inside a trap, the ring-chaos
+//!   discipline), the machine hands it the current execution point and
+//!   the span stream; the profiler folds the open spans into a stack
+//!   `process;span…;ring:segment` and accumulates a sample. The result
+//!   exports as folded stacks (`flamegraph.pl` format) and Perfetto
+//!   counter tracks.
+//! * [`TimeSeries`] — interval telemetry. Every `timeseries_every`
+//!   cycles the machine records its full
+//!   [`MetricsSnapshot`]; the pipeline
+//!   deltas consecutive snapshots into a `ring-prof/timeseries/v1`
+//!   JSON stream (instructions-per-cycle, fault-rate and paging-rate
+//!   curves over time).
+//!
+//! Both are pure observers: they read state that already exists and
+//! never touch the memory system, so simulated cycles are identical
+//! with profiling on or off — the fastpath differential suite pins
+//! this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use ring_metrics::{json_escape, MetricsSnapshot};
+use ring_trace::{SpanEvent, SpanKey, SpanKind};
+
+/// One frame of the sampled stack: an open span (gate or trap entry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Frame {
+    kind: SpanKind,
+    key: SpanKey,
+}
+
+impl Frame {
+    /// Renders the frame for folded-stack output, e.g. `call:r1:s20:e0`.
+    fn render(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{}:r{}:s{}:e{}",
+            self.kind, self.key.ring, self.key.segno, self.key.entry
+        );
+    }
+}
+
+/// The deterministic sampling profiler.
+///
+/// Feed it the machine's span stream incrementally via [`Profiler::tick`];
+/// it mirrors the open-span stack and the scheduler's current process,
+/// and whenever simulated time crosses a sampling boundary it records
+/// one weighted sample against the folded stack. A sampling period of
+/// zero leaves the profiler inert.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    sample_every: u64,
+    next_sample: u64,
+    /// Events already consumed from the span stream.
+    cursor: usize,
+    /// Mirror of the machine's open-span stack.
+    stack: Vec<Frame>,
+    /// Process dispatched by the most recent scheduler event.
+    pid: Option<u32>,
+    /// Folded stack → accumulated sample weight.
+    folded: BTreeMap<String, u64>,
+    samples: u64,
+    by_ring: [u64; 8],
+    /// Every sample in order: `(cycles, ring, weight)`, for counter
+    /// tracks.
+    timeline: Vec<(u64, u8, u64)>,
+}
+
+impl Profiler {
+    /// A profiler sampling every `sample_every` simulated cycles
+    /// (0 = disabled).
+    pub fn new(sample_every: u64) -> Profiler {
+        Profiler {
+            sample_every,
+            next_sample: sample_every,
+            ..Profiler::default()
+        }
+    }
+
+    /// Whether the profiler takes samples.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sample_every > 0
+    }
+
+    /// The sampling period in simulated cycles (0 = disabled).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Total sample weight accumulated.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Sample weight per ring of execution.
+    pub fn samples_by_ring(&self) -> &[u64; 8] {
+        &self.by_ring
+    }
+
+    /// True when the cycle counter has reached the next sample
+    /// boundary. This is the one comparison a profiling run adds to
+    /// the per-step hot path — callers gate [`Profiler::tick`] on it
+    /// so the span-stream mirror is advanced lazily, in batches, only
+    /// when a sample is actually taken.
+    #[inline]
+    pub fn due(&self, cycles: u64) -> bool {
+        self.sample_every > 0 && cycles >= self.next_sample
+    }
+
+    /// The step-boundary hook. `cycles` is the machine's simulated
+    /// cycle count, `(ring, segno)` the instruction about to execute,
+    /// and `events` the span stream recorded so far (the profiler
+    /// remembers how much of it it has already consumed).
+    ///
+    /// Catches up on any span events emitted since the last sample,
+    /// then records one weighted sample for the current stack.
+    pub fn tick(&mut self, cycles: u64, ring: u8, segno: u32, events: &[SpanEvent]) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.consume(events);
+        if cycles < self.next_sample {
+            return;
+        }
+        // One weighted sample covers every boundary the last
+        // instruction (or trap excursion) skipped over, so total weight
+        // tracks cycles / sample_every regardless of step granularity.
+        let weight = (cycles - self.next_sample) / self.sample_every + 1;
+        self.next_sample += weight * self.sample_every;
+        let mut key = match self.pid {
+            Some(p) => format!("pid{p}"),
+            None => "machine".to_string(),
+        };
+        for f in &self.stack {
+            key.push(';');
+            f.render(&mut key);
+        }
+        use std::fmt::Write;
+        let _ = write!(key, ";r{ring}:s{segno}");
+        *self.folded.entry(key).or_insert(0) += weight;
+        self.samples += weight;
+        self.by_ring[(ring & 7) as usize] += weight;
+        self.timeline.push((cycles, ring & 7, weight));
+    }
+
+    /// Advances the span-stream mirror without sampling.
+    fn consume(&mut self, events: &[SpanEvent]) {
+        for ev in events.iter().skip(self.cursor) {
+            match ev {
+                SpanEvent::Open { kind, key, .. } => self.stack.push(Frame {
+                    kind: *kind,
+                    key: *key,
+                }),
+                SpanEvent::Close { .. } => {
+                    self.stack.pop();
+                }
+                SpanEvent::Sched { pid, .. } => self.pid = Some(*pid),
+                SpanEvent::Instant { .. } => {}
+            }
+        }
+        self.cursor = events.len();
+    }
+
+    /// Tells the profiler the span stream it mirrors is about to be
+    /// drained (`take_events`): it consumes any `pending` events it has
+    /// not yet seen, then resets so newly recorded events start at
+    /// index zero again. The folded state is unaffected.
+    pub fn note_drained(&mut self, pending: &[SpanEvent]) {
+        if self.is_enabled() {
+            self.consume(pending);
+        }
+        self.cursor = 0;
+    }
+
+    /// The profile as folded stacks, one `stack count` line per unique
+    /// stack in lexicographic order — the `flamegraph.pl` input format.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.folded {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The folded profile as `(stack, weight)` pairs in lexicographic
+    /// order.
+    pub fn folded_entries(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.folded.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Perfetto counter-track events (`"ph": "C"`) for the cumulative
+    /// per-ring sample weight over simulated time, as a fragment to
+    /// splice into a `traceEvents` array.
+    fn perfetto_counter_events(&self, out: &mut Vec<String>) {
+        let mut cumulative = [0u64; 8];
+        for (cycles, ring, weight) in &self.timeline {
+            cumulative[*ring as usize] += weight;
+            out.push(format!(
+                "{{\"ph\": \"C\", \"name\": \"prof.samples.r{ring}\", \"pid\": 1, \
+                 \"tid\": 0, \"ts\": {cycles}, \"args\": {{\"value\": {}}}}}",
+                cumulative[*ring as usize]
+            ));
+        }
+    }
+}
+
+/// One exported time-series point: deltas over one interval.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeriesPoint {
+    /// Simulated cycles at the point (interval end).
+    pub cycles: u64,
+    /// Cycles elapsed since the previous point.
+    pub dcycles: u64,
+    /// Instructions retired in the interval.
+    pub instructions: u64,
+    /// Faults taken in the interval.
+    pub faults: u64,
+    /// Ring-changing crossings in the interval.
+    pub ring_changes: u64,
+    /// Page faults (the `page_fault` trap vector) in the interval.
+    pub page_faults: u64,
+    /// Instructions per simulated cycle over the interval.
+    pub ipc: f64,
+    /// Faults per simulated cycle over the interval.
+    pub fault_rate: f64,
+    /// Page faults per simulated cycle over the interval.
+    pub paging_rate: f64,
+}
+
+/// The interval time-series pipeline: a cumulative
+/// [`MetricsSnapshot`] every `every` simulated cycles, exported as
+/// per-interval deltas (`ring-prof/timeseries/v1`).
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    every: u64,
+    next: u64,
+    /// Cumulative snapshots at their capture cycle, in time order.
+    points: Vec<(u64, MetricsSnapshot)>,
+}
+
+impl TimeSeries {
+    /// A pipeline recording every `every` simulated cycles
+    /// (0 = disabled).
+    pub fn new(every: u64) -> TimeSeries {
+        TimeSeries {
+            every,
+            next: every,
+            points: Vec::new(),
+        }
+    }
+
+    /// Whether the pipeline records points.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.every > 0
+    }
+
+    /// The recording interval in simulated cycles (0 = disabled).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Whether a point is due at `cycles`. The caller checks this
+    /// before building a snapshot so the off-interval cost is one
+    /// comparison.
+    #[inline]
+    pub fn due(&self, cycles: u64) -> bool {
+        self.every > 0 && cycles >= self.next
+    }
+
+    /// Records the cumulative snapshot captured at `cycles` and
+    /// advances to the next interval boundary past `cycles`.
+    pub fn record(&mut self, cycles: u64, snapshot: MetricsSnapshot) {
+        if !self.due(cycles) {
+            return;
+        }
+        self.next = (cycles / self.every + 1) * self.every;
+        self.points.push((cycles, snapshot));
+    }
+
+    /// Number of points recorded.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The per-interval deltas (first point deltas against zero).
+    pub fn deltas(&self) -> Vec<TimeSeriesPoint> {
+        let mut out = Vec::with_capacity(self.points.len());
+        let mut prev_cycles = 0u64;
+        let mut prev_instr = 0u64;
+        let mut prev_faults = 0u64;
+        let mut prev_changes = 0u64;
+        let mut prev_pages = 0u64;
+        for (cycles, snap) in &self.points {
+            let pages = snap
+                .faults_by_vector
+                .iter()
+                .find(|(k, _)| *k == "page_fault")
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+                + snap.sched.page_faults();
+            let dcycles = cycles.saturating_sub(prev_cycles);
+            let instructions = snap.instructions.saturating_sub(prev_instr);
+            let faults = snap.faults_total.saturating_sub(prev_faults);
+            let ring_changes = snap.ring_changes.saturating_sub(prev_changes);
+            let page_faults = pages.saturating_sub(prev_pages);
+            let rate = |n: u64| {
+                if dcycles == 0 {
+                    0.0
+                } else {
+                    n as f64 / dcycles as f64
+                }
+            };
+            out.push(TimeSeriesPoint {
+                cycles: *cycles,
+                dcycles,
+                instructions,
+                faults,
+                ring_changes,
+                page_faults,
+                ipc: rate(instructions),
+                fault_rate: rate(faults),
+                paging_rate: rate(page_faults),
+            });
+            prev_cycles = *cycles;
+            prev_instr = snap.instructions;
+            prev_faults = snap.faults_total;
+            prev_changes = snap.ring_changes;
+            prev_pages = pages;
+        }
+        out
+    }
+
+    /// Serializes the series as a `ring-prof/timeseries/v1` JSON
+    /// document of per-interval deltas.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"ring-prof/timeseries/v1\",\n");
+        out.push_str(&format!("  \"interval\": {},\n", self.every));
+        out.push_str("  \"points\": [\n");
+        let deltas = self.deltas();
+        for (i, p) in deltas.iter().enumerate() {
+            let sep = if i + 1 == deltas.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"cycles\": {}, \"dcycles\": {}, \"instructions\": {}, \
+                 \"faults\": {}, \"ring_changes\": {}, \"page_faults\": {}, \
+                 \"ipc\": {}, \"fault_rate\": {}, \"paging_rate\": {}}}{sep}\n",
+                p.cycles,
+                p.dcycles,
+                p.instructions,
+                p.faults,
+                p.ring_changes,
+                p.page_faults,
+                json_f64(p.ipc),
+                json_f64(p.fault_rate),
+                json_f64(p.paging_rate),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Perfetto counter-track events for the rate curves, as fragments
+    /// to splice into a `traceEvents` array.
+    fn perfetto_counter_events(&self, out: &mut Vec<String>) {
+        for p in self.deltas() {
+            for (name, value) in [
+                ("ts.ipc", p.ipc),
+                ("ts.fault_rate", p.fault_rate),
+                ("ts.paging_rate", p.paging_rate),
+            ] {
+                out.push(format!(
+                    "{{\"ph\": \"C\", \"name\": \"{}\", \"pid\": 1, \"tid\": 0, \
+                     \"ts\": {}, \"args\": {{\"value\": {}}}}}",
+                    json_escape(name),
+                    p.cycles,
+                    json_f64(value)
+                ));
+            }
+        }
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// A Chrome trace-event JSON document carrying the profiler's per-ring
+/// sample counters and the time-series rate curves as Perfetto counter
+/// tracks (`"ph": "C"`), loadable in ui.perfetto.dev alongside the
+/// span trace.
+pub fn perfetto_counters(profiler: &Profiler, series: &TimeSeries) -> String {
+    let mut events = vec![
+        "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \"tid\": 0, \
+         \"args\": {\"name\": \"ring-prof counters\"}}"
+            .to_string(),
+    ];
+    profiler.perfetto_counter_events(&mut events);
+    series.perfetto_counter_events(&mut events);
+    let mut out = String::from("{\"traceEvents\": [\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_metrics::Metrics;
+    use ring_metrics::{FastPathStats, SdwCacheStats};
+
+    fn open(ring: u8, segno: u32, entry: u32, cycles: u64) -> SpanEvent {
+        SpanEvent::Open {
+            kind: SpanKind::Call,
+            key: SpanKey { ring, segno, entry },
+            from_ring: 4,
+            cycles,
+        }
+    }
+
+    fn close(cycles: u64) -> SpanEvent {
+        SpanEvent::Close { to_ring: 4, cycles }
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = Profiler::new(0);
+        p.tick(1_000_000, 4, 10, &[]);
+        assert!(!p.is_enabled());
+        assert_eq!(p.samples(), 0);
+        assert!(p.folded().is_empty());
+    }
+
+    #[test]
+    fn samples_land_on_cycle_boundaries_with_weights() {
+        let mut p = Profiler::new(100);
+        p.tick(50, 4, 10, &[]); // before the first boundary
+        assert_eq!(p.samples(), 0);
+        p.tick(100, 4, 10, &[]); // exactly on it
+        assert_eq!(p.samples(), 1);
+        p.tick(150, 4, 10, &[]); // not yet
+        assert_eq!(p.samples(), 1);
+        // A long excursion skipped boundaries 200..=500: one weighted
+        // sample covers all four.
+        p.tick(520, 4, 10, &[]);
+        assert_eq!(p.samples(), 5);
+        assert_eq!(p.folded(), "machine;r4:s10 5\n");
+        assert_eq!(p.samples_by_ring()[4], 5);
+    }
+
+    #[test]
+    fn folded_stacks_mirror_open_spans_and_process() {
+        let events = vec![
+            SpanEvent::Sched { pid: 2, cycles: 5 },
+            open(1, 20, 0, 10),
+            open(0, 30, 2, 20),
+            close(50),
+            close(90),
+        ];
+        let mut p = Profiler::new(100);
+        // Sample at cycle 100 with only the Sched + first Open seen:
+        // stack is pid2 -> gate -> leaf.
+        p.tick(100, 1, 20, &events[..2]);
+        // Deeper: both spans open.
+        p.tick(200, 0, 30, &events[..3]);
+        // All closed again.
+        p.tick(300, 4, 10, &events);
+        let folded = p.folded();
+        assert!(
+            folded.contains("pid2;call:r1:s20:e0;r1:s20 1\n"),
+            "{folded}"
+        );
+        assert!(
+            folded.contains("pid2;call:r1:s20:e0;call:r0:s30:e2;r0:s30 1\n"),
+            "{folded}"
+        );
+        assert!(folded.contains("pid2;r4:s10 1\n"), "{folded}");
+        assert_eq!(p.samples(), 3);
+    }
+
+    #[test]
+    fn drained_stream_does_not_double_count() {
+        let mut p = Profiler::new(100);
+        let first = vec![open(1, 20, 0, 10)];
+        p.tick(100, 1, 20, &first);
+        p.note_drained(&first);
+        // The drained events are gone; a fresh stream starts at index 0.
+        let second = vec![close(150)];
+        p.tick(200, 4, 10, &second);
+        let folded = p.folded();
+        assert!(
+            folded.contains("machine;call:r1:s20:e0;r1:s20 1\n"),
+            "{folded}"
+        );
+        assert!(folded.contains("machine;r4:s10 1\n"), "{folded}");
+    }
+
+    #[test]
+    fn drain_consumes_events_the_profiler_has_not_seen() {
+        // A span opens after the last tick; the stream is then drained.
+        // The stack mirror must still pick the open frame up.
+        let mut p = Profiler::new(100);
+        p.tick(100, 4, 10, &[]);
+        let unseen = vec![open(1, 20, 0, 150)];
+        p.note_drained(&unseen);
+        p.tick(200, 1, 20, &[]);
+        let folded = p.folded();
+        assert!(
+            folded.contains("machine;call:r1:s20:e0;r1:s20 1\n"),
+            "{folded}"
+        );
+    }
+
+    #[test]
+    fn identical_input_gives_bit_identical_profile() {
+        let events = [open(1, 20, 0, 10), close(90), open(0, 30, 1, 120)];
+        let run = || {
+            let mut p = Profiler::new(64);
+            let mut seen = 0;
+            for (cycles, upto) in [(64, 1), (130, 3), (512, 3)] {
+                p.tick(cycles, (cycles % 8) as u8, 10, &events[..upto]);
+                seen = upto;
+            }
+            let _ = seen;
+            p.folded()
+        };
+        assert_eq!(run(), run());
+    }
+
+    fn snapshot_with(instr: u64, cycles: u64, faults: u64) -> MetricsSnapshot {
+        let m = Metrics::enabled();
+        let mut s = MetricsSnapshot::new(
+            &m,
+            instr,
+            cycles,
+            SdwCacheStats::default(),
+            FastPathStats::default(),
+        );
+        s.faults_total = faults;
+        s
+    }
+
+    #[test]
+    fn timeseries_records_on_interval_and_deltas() {
+        let mut ts = TimeSeries::new(1000);
+        assert!(!ts.due(999));
+        assert!(ts.due(1000));
+        ts.record(1000, snapshot_with(300, 1000, 2));
+        assert!(!ts.due(1500));
+        // Skipping a whole interval still lands one point at the next
+        // boundary crossing.
+        assert!(ts.due(3100));
+        ts.record(3100, snapshot_with(900, 3100, 5));
+        assert!(!ts.due(3900));
+        assert_eq!(ts.len(), 2);
+        let d = ts.deltas();
+        assert_eq!(d[0].instructions, 300);
+        assert_eq!(d[0].dcycles, 1000);
+        assert_eq!(d[1].instructions, 600);
+        assert_eq!(d[1].dcycles, 2100);
+        assert_eq!(d[1].faults, 3);
+        assert!((d[0].ipc - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeseries_json_carries_schema_and_points() {
+        let mut ts = TimeSeries::new(500);
+        ts.record(500, snapshot_with(100, 500, 0));
+        ts.record(1000, snapshot_with(260, 1000, 1));
+        let json = ts.to_json();
+        assert!(json.contains("\"schema\": \"ring-prof/timeseries/v1\""));
+        assert!(json.contains("\"interval\": 500"));
+        assert!(json.contains("\"cycles\": 500"));
+        assert!(json.contains("\"instructions\": 160"));
+        assert!(json.contains("\"ipc\": 0.320000"));
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON:\n{json}");
+    }
+
+    #[test]
+    fn perfetto_counters_emit_counter_phase_events() {
+        let mut p = Profiler::new(100);
+        p.tick(100, 1, 20, &[]);
+        p.tick(200, 4, 10, &[]);
+        let mut ts = TimeSeries::new(100);
+        ts.record(100, snapshot_with(30, 100, 0));
+        let doc = perfetto_counters(&p, &ts);
+        assert!(doc.contains("\"ph\": \"C\""));
+        assert!(doc.contains("prof.samples.r1"));
+        assert!(doc.contains("prof.samples.r4"));
+        assert!(doc.contains("ts.ipc"));
+        let opens = doc.matches(['{', '[']).count();
+        let closes = doc.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON:\n{doc}");
+    }
+}

@@ -41,6 +41,7 @@
 //! seg <s>        print segment s's descriptor
 //! stats          metrics snapshot: crossings, faults, SDW cache
 //! spans          per-gate cycle attribution from the span recorder
+//! prof [n]       sampling profiler: the n hottest stacks (default 10)
 //! trace [--json] drain the execution trace (JSON lines with --json)
 //! record <file>  write the flight recording to <file> on stop/quit
 //! record stop    write the flight recording now
@@ -48,7 +49,8 @@
 //! q              quit
 //! ```
 //!
-//! Execution tracing, the metrics recorder, the span recorder, and the
+//! Execution tracing, the metrics recorder, the span recorder, the
+//! sampling profiler (one sample per 500 simulated cycles), and the
 //! deterministic flight recorder are always on in the debugger. `trace`
 //! drains the drop-oldest ring buffer (sequence numbers show how many
 //! earlier events were discarded; with `--json` a `{"dropped": n}`
@@ -360,6 +362,7 @@ fn main() -> ExitCode {
     world.machine.enable_trace(4096);
     world.machine.enable_metrics();
     world.machine.enable_spans();
+    world.machine.enable_profiler(500, 5_000);
     let mut flight = Flight::start(&world);
     println!(
         "loaded {} words into segment {CODE_SEG}; ring {ring}",
@@ -386,6 +389,7 @@ fn main() -> ExitCode {
                 println!("d <w> [n] disasm | m <s> <w> [n] memory | seg <s> descriptor");
                 println!("b [<seg>] <w> breakpoint | w <seg> <w> data watchpoint | q quit");
                 println!("stats metrics snapshot | spans per-gate cycle attribution");
+                println!("prof [n] sampling-profiler hot stacks (cycle-driven)");
                 println!("trace [--json] drain execution trace");
                 println!("record <file>|stop flight recording | replay <file> verify a recording");
             }
@@ -530,6 +534,30 @@ fn main() -> ExitCode {
                         snap.return_cycles.mean,
                         snap.return_cycles.min,
                         snap.return_cycles.max
+                    );
+                }
+            }
+            ["prof", rest @ ..] => {
+                // The deterministic sampling profiler, live: one sample
+                // per 500 simulated cycles, attributed to ring, segment
+                // and the innermost open span.
+                let prof = world.machine.profiler();
+                if prof.samples() == 0 {
+                    println!("  (no samples yet — step or run past cycle 500 first)");
+                    continue;
+                }
+                let limit: usize = rest.first().and_then(|v| v.parse().ok()).unwrap_or(10);
+                let total = prof.samples();
+                println!(
+                    "  {total} samples, one per {} simulated cycles",
+                    prof.sample_every()
+                );
+                let mut entries: Vec<(&str, u64)> = prof.folded_entries().collect();
+                entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+                for (stack, n) in entries.into_iter().take(limit) {
+                    println!(
+                        "  {n:>7} {:>5.1}%  {stack}",
+                        100.0 * n as f64 / total as f64
                     );
                 }
             }

@@ -30,9 +30,12 @@
 //!                          per [rate] cycles, default 5000) and report
 //!                          what the supervisor recovered, killed or
 //!                          degraded (see docs/RELIABILITY.md)
-//! stats                    supervisor + machine statistics, scheduler
-//!                          counters, ring crossings and SDW-cache
-//!                          behaviour
+//! stats                    supervisor + machine statistics; every
+//!                          populated section prints — scheduler
+//!                          counters, ring crossings, SDW cache, chaos
+//!                          recovery, profiler — whichever mode filled it
+//! top [n]                  `top`-style profiler view: sample counts by
+//!                          ring and the n hottest stacks (default 10)
 //! heatmap                  per-segment access counts (R/W/E/violations)
 //! metrics [file]           dump the full JSON snapshot (to a file, or
 //!                          the terminal)
@@ -68,7 +71,7 @@ impl Shell {
             ["quit"] | ["q"] | ["exit"] => return false,
             ["help"] | ["h"] => {
                 println!("login <user> | create <path> [words...] | share <path> <user> <r|rw|re>");
-                println!("asm <file> | run <segno> [entry] | cat <path> | ps | logout | stats | heatmap | metrics [file] | tty | audit | quit");
+                println!("asm <file> | run <segno> [entry] | cat <path> | ps | logout | stats | top [n] | heatmap | metrics [file] | tty | audit | quit");
                 println!(
                     "storm [procs] [pages] [rounds] [frames]   run a multiprogramming page storm"
                 );
@@ -352,6 +355,9 @@ impl Shell {
                 self.current = Some(installed[0].pid);
             }
             ["stats"] => {
+                // Every section prints under the same rule — whenever
+                // it has recorded anything — regardless of which mode
+                // (run / storm / chaos) populated it.
                 let s = self.sys.stats();
                 let m = self.sys.machine.stats();
                 println!(
@@ -383,26 +389,34 @@ impl Shell {
                     snap.ring_changes
                 );
                 let sc = self.sys.state.borrow().sched.stats;
-                println!(
-                    "  scheduler: {} context switches ({} preemptions), {} minor + {} major \
-                     page faults, {} evictions, {} io blocks, {} idle cycles",
-                    sc.context_switches,
-                    sc.preemptions,
-                    sc.page_faults_minor,
-                    sc.page_faults_major,
-                    sc.evictions,
-                    sc.io_blocks,
-                    sc.idle_cycles
-                );
+                if sc.context_switches > 0
+                    || sc.page_faults_minor > 0
+                    || sc.page_faults_major > 0
+                    || sc.idle_cycles > 0
+                {
+                    println!(
+                        "  scheduler: {} context switches ({} preemptions), {} minor + {} major \
+                         page faults, {} evictions, {} io blocks, {} idle cycles",
+                        sc.context_switches,
+                        sc.preemptions,
+                        sc.page_faults_minor,
+                        sc.page_faults_major,
+                        sc.evictions,
+                        sc.io_blocks,
+                        sc.idle_cycles
+                    );
+                }
                 let cs = self.sys.machine.sdw_cache_stats();
-                println!(
-                    "  sdw cache: {} hits, {} misses ({:.1}% hit), {} flushes, {} invalidations",
-                    cs.hits,
-                    cs.misses,
-                    100.0 * cs.hit_ratio(),
-                    cs.flushes,
-                    cs.invalidations
-                );
+                if cs.hits + cs.misses > 0 {
+                    println!(
+                        "  sdw cache: {} hits, {} misses ({:.1}% hit), {} flushes, {} invalidations",
+                        cs.hits,
+                        cs.misses,
+                        100.0 * cs.hit_ratio(),
+                        cs.flushes,
+                        cs.invalidations
+                    );
+                }
                 if snap.call_cycles.count > 0 {
                     println!(
                         "  call path: {} calls, {:.1} cycles mean (min {}, max {}); return path: {} returns, {:.1} mean",
@@ -412,6 +426,64 @@ impl Shell {
                         snap.call_cycles.max,
                         snap.return_cycles.count,
                         snap.return_cycles.mean
+                    );
+                }
+                let ce = self.sys.machine.chaos();
+                if ce.injected_total() > 0 {
+                    let cr = self.sys.chaos_stats();
+                    println!(
+                        "  chaos: {} injected, {} detected, {} recovered, {} killed, \
+                         {} salvaged, degraded segs={} global={}",
+                        ce.injected_total(),
+                        ce.detected_total(),
+                        cr.recovered,
+                        cr.killed,
+                        cr.salvaged,
+                        ce.degraded_segs().len(),
+                        ce.degraded_global()
+                    );
+                }
+                let prof = self.sys.profiler();
+                if prof.samples() > 0 {
+                    println!(
+                        "  profiler: {} samples every {} cycles across {} stacks \
+                         ({} time-series points; see `top`)",
+                        prof.samples(),
+                        prof.sample_every(),
+                        prof.folded_entries().count(),
+                        self.sys.timeseries().len()
+                    );
+                }
+            }
+            ["top", rest @ ..] => {
+                // A `top`-style view of the sampling profiler: where
+                // have the simulated cycles gone, by ring and by stack.
+                let prof = self.sys.profiler();
+                if prof.samples() == 0 {
+                    println!("  (no samples yet — run something first)");
+                    return true;
+                }
+                let limit: usize = rest.first().and_then(|v| v.parse().ok()).unwrap_or(10);
+                let total = prof.samples();
+                println!(
+                    "  {total} samples, one per {} simulated cycles",
+                    prof.sample_every()
+                );
+                let rings: Vec<String> = prof
+                    .samples_by_ring()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &n)| n > 0)
+                    .map(|(r, &n)| format!("r{r} {:.1}%", 100.0 * n as f64 / total as f64))
+                    .collect();
+                println!("  rings: {}", rings.join(", "));
+                let mut entries: Vec<(&str, u64)> = prof.folded_entries().collect();
+                entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+                println!("  {:>7}      %  stack", "samples");
+                for (stack, n) in entries.into_iter().take(limit) {
+                    println!(
+                        "  {n:>7} {:>5.1}%  {stack}",
+                        100.0 * n as f64 / total as f64
                     );
                 }
             }
@@ -467,8 +539,10 @@ fn main() -> ExitCode {
         fastpath,
         ..multiring::os::boot::SystemConfig::default()
     });
-    // The shell is an observability surface; always record metrics.
+    // The shell is an observability surface; always record metrics and
+    // sample the profiler (cycle-driven, so it never perturbs a run).
     sys.enable_metrics();
+    sys.enable_profiler(500, 5_000);
     let mut shell = Shell { sys, current: None };
     let stdin = std::io::stdin();
     loop {

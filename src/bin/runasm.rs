@@ -6,6 +6,9 @@
 //!                    [--no-fastpath] [--metrics-out <file.json|file.csv>]
 //!                    [--trace-out <file.json>] [--record <file>]
 //!                    [--replay <file>] [--checkpoint-every N]
+//!                    [--profile-out <file.folded|file.json>]
+//!                    [--timeseries-out <file.json>]
+//!                    [--sample-every N] [--timeseries-every N]
 //!                    [--procs N] [--quantum N] [--frames N]
 //!                    [--pages N] [--rounds N]
 //!                    [--chaos-seed N] [--chaos-rate N] [--chaos-plan <file>]
@@ -34,6 +37,24 @@
 //! * `--replay <file>` — re-run a recording in a world rebuilt from the
 //!   same program and verify it bit-for-bit (final registers, memory,
 //!   cycles, I/O timeline). Exits nonzero on divergence.
+//!
+//! Profiler options (see the "Profiling and time series" section of
+//! `docs/OBSERVABILITY.md`):
+//!
+//! * `--profile-out <file>` — attach the deterministic cycle-driven
+//!   sampling profiler and write the profile: folded stacks
+//!   (`flamegraph.pl` input) by default, Perfetto counter tracks when
+//!   the name ends in `.json`. `--sample-every N` sets the sampling
+//!   period in simulated cycles (default 1000).
+//! * `--timeseries-out <file.json>` — record an interval time series
+//!   of the full metrics snapshot and write the
+//!   `ring-prof/timeseries/v1` delta stream (ipc, fault-rate,
+//!   paging-rate curves). `--timeseries-every N` sets the interval in
+//!   simulated cycles (default 5000).
+//!
+//! Both are driven by simulated cycles, never wall-clock, so they
+//! compose with `--record`/`--replay`: replaying a recording
+//! reproduces the profile and the time series bit-for-bit.
 //!
 //! Multiprogramming options (see `docs/KERNEL.md`):
 //!
@@ -97,6 +118,10 @@ struct Options {
     record: Option<String>,
     replay: Option<String>,
     checkpoint_every: u64,
+    profile_out: Option<String>,
+    timeseries_out: Option<String>,
+    sample_every: u64,
+    timeseries_every: u64,
     procs: usize,
     quantum: u64,
     frames: u32,
@@ -121,6 +146,10 @@ fn parse_args() -> Result<Options, String> {
         record: None,
         replay: None,
         checkpoint_every: multiring::cpu::DEFAULT_CHECKPOINT_EVERY,
+        profile_out: None,
+        timeseries_out: None,
+        sample_every: 1_000,
+        timeseries_every: 5_000,
         procs: 0,
         quantum: 400,
         frames: 16,
@@ -166,6 +195,27 @@ fn parse_args() -> Result<Options, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--checkpoint-every takes a cycle count")?;
+            }
+            "--profile-out" => {
+                opts.profile_out = Some(args.next().ok_or("--profile-out takes a file name")?);
+            }
+            "--timeseries-out" => {
+                opts.timeseries_out =
+                    Some(args.next().ok_or("--timeseries-out takes a file name")?);
+            }
+            "--sample-every" => {
+                opts.sample_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--sample-every takes a cycle count >= 1")?;
+            }
+            "--timeseries-every" => {
+                opts.timeseries_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--timeseries-every takes a cycle count >= 1")?;
             }
             "--procs" => {
                 opts.procs = args
@@ -223,6 +273,8 @@ fn parse_args() -> Result<Options, String> {
                     "usage: runasm <file.rasm> [--ring N] [--budget N] [--trace] [--disasm] \
                      [--no-fastpath] [--metrics-out <file>] [--trace-out <file.json>] \
                      [--record <file>] [--replay <file>] [--checkpoint-every N] \
+                     [--profile-out <file>] [--timeseries-out <file.json>] \
+                     [--sample-every N] [--timeseries-every N] \
                      [--procs N [--quantum N] [--frames N] [--pages N] [--rounds N] \
                      [--chaos-seed N] [--chaos-rate N] [--chaos-plan <file>]]"
                         .to_string(),
@@ -311,6 +363,9 @@ fn main() -> ExitCode {
     }
     if opts.trace_out.is_some() {
         world.machine.enable_spans();
+    }
+    if let Some((sample, ts)) = profiler_config(&opts) {
+        world.machine.enable_profiler(sample, ts);
     }
     world.start(ring, code, 0);
 
@@ -454,6 +509,9 @@ fn run_multiproc(opts: &Options) -> ExitCode {
         }
         if let Some(plan) = &chaos_plan {
             sys.enable_chaos(plan.clone());
+        }
+        if let Some((sample, ts)) = profiler_config(opts) {
+            sys.enable_profiler(sample, ts);
         }
         sys.machine.set_timer(Some(opts.quantum));
         (sys, procs)
@@ -616,6 +674,10 @@ fn run_multiproc(opts: &Options) -> ExitCode {
         }
         println!("trace -> {path} (load in ui.perfetto.dev)");
     }
+    if let Err(e) = write_prof_artifacts(&sys.machine, opts) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     if all_ok {
         ExitCode::SUCCESS
     } else {
@@ -673,4 +735,61 @@ fn finish(world: &World, opts: &Options) {
             multiring::trace::gate_table(&tree).len()
         );
     }
+    if let Err(e) = write_prof_artifacts(m, opts) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}
+
+/// The profiler configuration the flags ask for: `(sample_every,
+/// timeseries_every)` with 0 disabling that half, or `None` when no
+/// profiler output was requested at all.
+fn profiler_config(opts: &Options) -> Option<(u64, u64)> {
+    if opts.profile_out.is_none() && opts.timeseries_out.is_none() {
+        return None;
+    }
+    let sample = if opts.profile_out.is_some() {
+        opts.sample_every
+    } else {
+        0
+    };
+    let ts = if opts.timeseries_out.is_some() {
+        opts.timeseries_every
+    } else {
+        0
+    };
+    Some((sample, ts))
+}
+
+/// Writes the profiler artifacts (folded stacks or Perfetto counters,
+/// and the time-series JSON), if requested.
+fn write_prof_artifacts(
+    m: &multiring::cpu::machine::Machine,
+    opts: &Options,
+) -> Result<(), String> {
+    if let Some(path) = &opts.profile_out {
+        let prof = m.profiler();
+        let body = if path.ends_with(".json") {
+            multiring::prof::perfetto_counters(prof, m.timeseries())
+        } else {
+            prof.folded()
+        };
+        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "profile: {} samples every {} cycles, {} stacks -> {path}",
+            prof.samples(),
+            prof.sample_every(),
+            prof.folded_entries().count()
+        );
+    }
+    if let Some(path) = &opts.timeseries_out {
+        let ts = m.timeseries();
+        std::fs::write(path, ts.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "timeseries: {} points every {} cycles -> {path}",
+            ts.len(),
+            ts.every()
+        );
+    }
+    Ok(())
 }

@@ -29,6 +29,10 @@
 //!   ring-crossing traces with per-gate cycle attribution, Chrome
 //!   trace-event / Perfetto export, and deterministic record/replay
 //!   containers.
+//! * [`prof`] (`ring-prof`) — cycle-attributed profiling: the
+//!   deterministic sampling profiler (folded-stack / flamegraph
+//!   export), interval time-series telemetry, and Perfetto counter
+//!   tracks.
 //!
 //! # Quickstart
 //!
@@ -55,6 +59,7 @@ pub use ring_core as core;
 pub use ring_cpu as cpu;
 pub use ring_metrics as metrics;
 pub use ring_os as os;
+pub use ring_prof as prof;
 pub use ring_sched as sched;
 pub use ring_segmem as segmem;
 pub use ring_trace as trace;

@@ -199,7 +199,14 @@ fn gen_instr(rng: &mut StdRng) -> Word {
 
 /// Builds a world with one random program and data image, identical
 /// for every call with the same seed; `fastpath` selects the engine.
+/// The sampling profiler and time-series pipeline ride along on every
+/// differential run, so the lockstep comparisons also pin them as
+/// non-perturbing and engine-independent.
 fn build_world(seed: u64, fastpath: bool) -> World {
+    build_world_with(seed, fastpath, true)
+}
+
+fn build_world_with(seed: u64, fastpath: bool, profiler: bool) -> World {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut w = World::with_config(MachineConfig {
         fastpath,
@@ -297,6 +304,9 @@ fn build_world(seed: u64, fastpath: bool) -> World {
     w.machine.set_pr(5, PtrReg::new(Ring::R5, addr(TABLE, 0)));
     w.machine.enable_metrics();
     w.machine.enable_spans();
+    if profiler {
+        w.machine.enable_profiler(64, 256);
+    }
     w.start(Ring::R4, code, 0);
     w
 }
@@ -373,6 +383,19 @@ fn run_lockstep(seed: u64, steps: usize) -> u64 {
         arch_metrics_csv(&slow.machine),
         "architectural metrics diverged {at}"
     );
+    // The profiler samples on simulated cycles and the span stream,
+    // both of which the engines must agree on — so the folded profile
+    // and the time series must come out bit-identical too.
+    assert_eq!(
+        fast.machine.profiler().folded(),
+        slow.machine.profiler().folded(),
+        "folded profiles diverged {at}"
+    );
+    assert_eq!(
+        fast.machine.timeseries().to_json(),
+        slow.machine.timeseries().to_json(),
+        "time series diverged {at}"
+    );
     // The span flight recorder sees only committed ring crossings, so
     // the two engines must emit the *identical* event stream — same
     // spans, same order, same cycle timestamps.
@@ -415,6 +438,50 @@ fn fast_path_commits_most_instructions() {
     assert!(
         total_fast > 100,
         "fast path barely engaged ({total_fast} commits) — differential tests are vacuous"
+    );
+}
+
+/// The profiler must be a pure observer: with sampling and the
+/// time-series pipeline on, the machine executes bit-identically to a
+/// run with them off — same outcomes, registers, cycles, faults and
+/// counted physical references, on both engines.
+#[test]
+fn profiler_on_vs_off_is_architecturally_pure() {
+    let mut total_samples = 0u64;
+    for seed in [1u64, 0x645, 0xFEED_F00D] {
+        for fastpath in [true, false] {
+            let mut on = build_world_with(seed, fastpath, true);
+            let mut off = build_world_with(seed, fastpath, false);
+            for i in 0..1200 {
+                let a = on.machine.step();
+                let b = off.machine.step();
+                let at = format!("at step {i} (seed {seed:#x}, fastpath {fastpath})");
+                assert_eq!(a, b, "outcome diverged {at}");
+                assert_machines_equal(&on.machine, &off.machine, &at);
+                if a == StepOutcome::Halted {
+                    break;
+                }
+            }
+            let at = format!("after run (seed {seed:#x}, fastpath {fastpath})");
+            assert_eq!(
+                on.machine.phys().read_count(),
+                off.machine.phys().read_count(),
+                "counted reads diverged {at}"
+            );
+            assert_eq!(
+                on.machine.phys().write_count(),
+                off.machine.phys().write_count(),
+                "counted writes diverged {at}"
+            );
+            total_samples += on.machine.profiler().samples();
+        }
+    }
+    // Some random programs halt before the first sample boundary;
+    // across the seed set the profiler must still have fired, or the
+    // purity check proved nothing.
+    assert!(
+        total_samples > 0,
+        "profiler never sampled on any seed — the purity check is vacuous"
     );
 }
 

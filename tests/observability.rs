@@ -345,3 +345,185 @@ fn system_snapshot_carries_supervisor_extras() {
     let json = snap.to_json();
     assert!(json.contains("\"os.gate_calls_ring1\": 1"));
 }
+
+/// A wrapped execution-trace ring buffer surfaces its drop count in
+/// the snapshot and in both export formats — the count must survive
+/// wraparound, not reset with the discarded events.
+#[test]
+fn trace_ring_wraparound_drop_count_survives_export() {
+    let mut w = gate_call_world(8);
+    w.machine.enable_metrics();
+    // A 4-entry ring under a multi-hundred-event workload is
+    // guaranteed to wrap many times over.
+    w.machine.enable_trace(4);
+    w.start(Ring::R4, SegNo::new(10).unwrap(), 0);
+    assert_eq!(w.machine.run(10_000), RunExit::Halted);
+
+    let dropped = w.machine.trace_dropped();
+    assert!(dropped > 0, "a 4-entry trace ring must have wrapped");
+    let snap = w.machine.metrics_snapshot();
+    assert_eq!(snap.trace_dropped, dropped);
+    let json = snap.to_json();
+    assert!(
+        json.contains(&format!("\"trace\": {{\"dropped\": {dropped}}}")),
+        "drop count missing from JSON: {json}"
+    );
+    let csv = snap.to_csv();
+    assert!(
+        csv.lines().any(|l| l == format!("trace.dropped,{dropped}")),
+        "drop count missing from CSV"
+    );
+}
+
+/// The CSV flattening is collision-free and lossless: every dotted key
+/// appears exactly once, and each row's value parses back to exactly
+/// what the snapshot struct holds — across every nested family
+/// (`crossings.*`, `histograms.*`, `heatmap.N.*`, `prof.*`, `trace.*`,
+/// `scheduler.*`, `extra.os.*`).
+#[test]
+fn csv_flattening_roundtrips_every_key_exactly_once() {
+    // A supervisor run populates the most sections at once: hardware
+    // counters, histograms, heatmap, profiler, and the os.* extras.
+    let mut sys = System::boot();
+    sys.enable_metrics();
+    sys.enable_profiler(10, 50);
+    let pid = sys.login("alice");
+    let mut data = vec![Word::new(5)];
+    data.resize(16, Word::ZERO);
+    let scratch = sys.install_data(pid, Ring::R4, Ring::R4, &data, 64);
+    let calls = vec![(
+        gate_addr(segs::RING1, ring1::ACCT_CHARGE),
+        vec![SegAddr::from_parts(scratch.segno, 0).unwrap()],
+    )];
+    let seq = gen_call_sequence(Ring::R4, &calls);
+    let code = sys.install_code(pid, Ring::R4, Ring::R4, 0, &seq);
+    sys.prepare(pid, code.segno, 0, Ring::R4);
+    assert_eq!(sys.machine.run(100_000), RunExit::Halted);
+
+    let snap = sys.metrics_snapshot();
+    let csv = snap.to_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some("key,value"), "CSV header");
+    let mut rows = std::collections::BTreeMap::new();
+    for line in lines {
+        let (k, v) = line.split_once(',').expect("key,value row");
+        assert!(
+            rows.insert(k.to_string(), v.to_string()).is_none(),
+            "duplicate CSV key {k}"
+        );
+        assert!(
+            v.parse::<f64>().is_ok(),
+            "row {k}={v} does not parse as a number"
+        );
+    }
+    let num = |k: &str| -> u64 {
+        rows.get(k)
+            .unwrap_or_else(|| panic!("missing CSV row {k}"))
+            .parse()
+            .unwrap_or_else(|e| panic!("row {k} not a u64: {e}"))
+    };
+    assert_eq!(num("instructions"), snap.instructions);
+    assert_eq!(num("cycles"), snap.cycles);
+    for (key, v) in &snap.crossings {
+        assert_eq!(num(&format!("crossings.{key}")), *v);
+    }
+    assert_eq!(num("crossings.ring_changes"), snap.ring_changes);
+    for (key, v) in &snap.faults_by_vector {
+        assert_eq!(num(&format!("faults.by_vector.{key}")), *v);
+    }
+    for (segno, h) in &snap.heatmap {
+        assert_eq!(num(&format!("heatmap.{segno}.reads")), h.reads);
+        assert_eq!(num(&format!("heatmap.{segno}.writes")), h.writes);
+        assert_eq!(num(&format!("heatmap.{segno}.executes")), h.executes);
+        assert_eq!(num(&format!("heatmap.{segno}.violations")), h.violations);
+    }
+    for (k, v) in &snap.extra {
+        assert_eq!(num(&format!("extra.{k}")), *v);
+    }
+    for (key, h) in [
+        ("call_cycles", &snap.call_cycles),
+        ("return_cycles", &snap.return_cycles),
+    ] {
+        assert_eq!(num(&format!("histograms.{key}.count")), h.count);
+        assert_eq!(num(&format!("histograms.{key}.sum")), h.sum);
+        assert_eq!(num(&format!("histograms.{key}.min")), h.min);
+        assert_eq!(num(&format!("histograms.{key}.max")), h.max);
+        assert_eq!(num(&format!("histograms.{key}.p50")), h.percentile(0.50));
+        assert_eq!(num(&format!("histograms.{key}.p99")), h.percentile(0.99));
+    }
+    assert_eq!(num("prof.samples"), snap.prof.samples);
+    assert_eq!(num("prof.sample_every"), snap.prof.sample_every);
+    assert_eq!(num("prof.timeseries_points"), snap.prof.timeseries_points);
+    assert_eq!(num("prof.timeseries_every"), snap.prof.timeseries_every);
+    assert_eq!(num("trace.dropped"), snap.trace_dropped);
+    assert_eq!(
+        num("scheduler.context_switches"),
+        snap.sched.context_switches
+    );
+    assert!(
+        snap.prof.samples > 0,
+        "profiler never sampled — the prof.* roundtrip is vacuous"
+    );
+    assert!(
+        !snap.extra.is_empty(),
+        "no extras recorded — the extra.* roundtrip is vacuous"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `MetricsSnapshot::merge` of two disjoint runs is the telemetry
+    /// of their concatenation: counters that are linear in the gate-call
+    /// count match a single run of the combined length, and every
+    /// summed field equals the sum of its parts (histograms included).
+    #[test]
+    fn snapshot_merge_of_disjoint_runs_is_their_concatenation(a in 1u64..6, b in 1u64..6) {
+        let run = |calls: u64| {
+            let mut w = gate_call_world(calls);
+            w.machine.enable_metrics();
+            w.start(Ring::R4, SegNo::new(10).unwrap(), 0);
+            assert_eq!(w.machine.run(10_000), RunExit::Halted);
+            w.machine.metrics_snapshot()
+        };
+        let sa = run(a);
+        let sb = run(b);
+        let concat = run(a + b);
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+
+        // Linear-in-calls counters equal the concatenated run's.
+        prop_assert_eq!(merged.crossing("call_down"), concat.crossing("call_down"));
+        prop_assert_eq!(merged.crossing("return_up"), concat.crossing("return_up"));
+        prop_assert_eq!(merged.crossing_matrix[4][1], concat.crossing_matrix[4][1]);
+        prop_assert_eq!(merged.crossing_matrix[1][4], concat.crossing_matrix[1][4]);
+        prop_assert_eq!(merged.call_cycles.count, concat.call_cycles.count);
+
+        // Summed fields equal the sum of their parts.
+        prop_assert_eq!(merged.instructions, sa.instructions + sb.instructions);
+        prop_assert_eq!(merged.cycles, sa.cycles + sb.cycles);
+        prop_assert_eq!(merged.faults_total, sa.faults_total + sb.faults_total);
+        prop_assert_eq!(merged.ring_changes, sa.ring_changes + sb.ring_changes);
+        prop_assert_eq!(merged.call_cycles.sum, sa.call_cycles.sum + sb.call_cycles.sum);
+        prop_assert_eq!(merged.call_cycles.min, sa.call_cycles.min.min(sb.call_cycles.min));
+        prop_assert_eq!(merged.call_cycles.max, sa.call_cycles.max.max(sb.call_cycles.max));
+
+        // Percentiles over the merged histogram stay inside the
+        // observed range.
+        let p50 = merged.call_cycles.percentile(0.50);
+        let p99 = merged.call_cycles.percentile(0.99);
+        prop_assert!(merged.call_cycles.min <= p50 && p50 <= p99);
+        prop_assert!(p99 <= merged.call_cycles.max);
+
+        // The per-segment heatmap merges by segment number: the code
+        // segment's execute count is the sum of both runs'.
+        let executes = |s: &multiring::metrics::MetricsSnapshot| {
+            s.heatmap
+                .iter()
+                .find(|(segno, _)| *segno == 10)
+                .map(|(_, h)| h.executes)
+                .unwrap_or(0)
+        };
+        prop_assert_eq!(executes(&merged), executes(&sa) + executes(&sb));
+    }
+}

@@ -129,6 +129,52 @@ fn gate_storm_record_replay_is_bit_identical() {
     );
 }
 
+/// The sampling profiler and the time-series pipeline are driven by
+/// simulated cycles and the span stream only, so replaying a recording
+/// in an identically profiled world must reproduce the folded profile
+/// and the time-series JSON bit-for-bit.
+#[test]
+fn replay_reproduces_profile_and_timeseries_bit_identically() {
+    const CALLS: u64 = 20;
+    let mut rec_w = gate_storm_world(CALLS);
+    rec_w.machine.enable_metrics();
+    rec_w.machine.enable_profiler(50, 200);
+    rec_w.start(Ring::R4, SegNo::new(10).unwrap(), 0);
+    let mut recorder = Recorder::start(&rec_w.machine, "gate_storm_prof", 64);
+    assert_eq!(
+        run_recorded(&mut rec_w.machine, 10_000, &mut recorder),
+        RunExit::Halted
+    );
+    let recording = recorder.finish(&rec_w.machine);
+    let profile = rec_w.machine.profiler().folded();
+    let series = rec_w.machine.timeseries().to_json();
+    assert!(
+        rec_w.machine.profiler().samples() > 0,
+        "the storm must be long enough to sample"
+    );
+    assert!(
+        !rec_w.machine.timeseries().is_empty(),
+        "the storm must be long enough for a time-series point"
+    );
+
+    let mut rep_w = gate_storm_world(CALLS);
+    rep_w.machine.enable_metrics();
+    rep_w.machine.enable_profiler(50, 200);
+    rep_w.start(Ring::R4, SegNo::new(10).unwrap(), 0);
+    let report = replay(&mut rep_w.machine, &recording).expect("recording applies");
+    assert!(report.ok, "replay diverged: {:?}", report.mismatch);
+    assert_eq!(
+        rep_w.machine.profiler().folded(),
+        profile,
+        "replayed folded profile differs from the recorded run's"
+    );
+    assert_eq!(
+        rep_w.machine.timeseries().to_json(),
+        series,
+        "replayed time series differs from the recorded run's"
+    );
+}
+
 /// Asynchronous I/O completions are nondeterministic inputs from the
 /// recording's point of view: both deliveries must be logged, and the
 /// replay must reproduce them at the recorded instruction, cycle, and
