@@ -235,8 +235,16 @@ impl Machine {
     /// The DBR starts empty (bound 0); world-building code installs a
     /// descriptor segment and loads the DBR before execution starts.
     pub fn new(phys_words: usize, config: MachineConfig) -> Machine {
+        Machine::with_phys(PhysMem::new(phys_words), config)
+    }
+
+    /// Creates a machine around an existing physical memory — typically
+    /// a copy-on-write view over a shared boot image
+    /// ([`PhysMem::cow`]), so a fleet of machines can share one frozen
+    /// image instead of each allocating private storage.
+    pub fn with_phys(phys: PhysMem, config: MachineConfig) -> Machine {
         Machine {
-            phys: PhysMem::new(phys_words),
+            phys,
             tr: Translator::new(config.sdw_cache),
             dbr: Dbr::new(ring_core::addr::AbsAddr::ZERO, 0, SegNo::from_bits(0)),
             ipr: Ipr::new(Ring::R0, SegAddr::new(SegNo::from_bits(0), WordNo::ZERO)),

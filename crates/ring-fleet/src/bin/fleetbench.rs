@@ -1,0 +1,105 @@
+//! Fleet-scale benchmark: thousands of deterministic machines over a
+//! shared copy-on-write boot image.
+//!
+//! ```text
+//! cargo run --release -p ring-fleet --bin fleetbench [-- OPTIONS]
+//!
+//!   --quick          256 machines (CI smoke); default is 10,000
+//!   --machines N     explicit fleet size
+//!   --threads K      worker threads (default: host parallelism)
+//!   --seed S         fleet seed (default 0x5EED0F1EE7)
+//!   --mix M          pagestorm | gatestorm | mixed (default mixed)
+//!   --out FILE       report path (default BENCH_fleet.json)
+//! ```
+//!
+//! Boots every machine from one frozen image per workload kind,
+//! runs the fleet across a work-stealing queue, prints aggregate
+//! simulated-instructions-per-second plus p50/p99 per-machine
+//! wall-clock, and writes a `ring-fleet/bench/v1` JSON report whose
+//! `merged_snapshot_hash` is bit-stable across `--threads` values for
+//! a fixed seed — the determinism contract CI enforces.
+
+use ring_fleet::report::{fleet_json, fnv1a64, Percentiles};
+use ring_fleet::{run_fleet, FleetConfig, WorkloadMix};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut cfg = FleetConfig {
+        machines: if quick { 256 } else { 10_000 },
+        ..FleetConfig::default()
+    };
+    let mut out = "BENCH_fleet.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{what} takes a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--quick" => {}
+            "--machines" => cfg.machines = take("--machines").parse().expect("machine count"),
+            "--threads" => cfg.threads = take("--threads").parse().expect("thread count"),
+            "--seed" => cfg.seed = take("--seed").parse().expect("seed"),
+            "--mix" => {
+                cfg.mix = match take("--mix").as_str() {
+                    "pagestorm" => WorkloadMix::PageStorm,
+                    "gatestorm" => WorkloadMix::GateStorm,
+                    "mixed" => WorkloadMix::Mixed,
+                    other => panic!("unknown mix {other:?} (pagestorm|gatestorm|mixed)"),
+                }
+            }
+            "--out" => out = take("--out"),
+            other => panic!("unknown option {other:?}"),
+        }
+    }
+
+    let result = run_fleet(&cfg);
+    let completed = result.machines.iter().filter(|m| m.completed).count();
+    let instructions: u64 = result.machines.iter().map(|m| m.instructions).sum();
+    let wall_ns: Vec<u64> = result.machines.iter().map(|m| m.wall_ns).collect();
+    let wall = Percentiles::of(&wall_ns);
+    let dirty: Vec<u64> = result
+        .machines
+        .iter()
+        .map(|m| u64::from(m.dirty_pages))
+        .collect();
+    let dirty_stats = Percentiles::of(&dirty);
+    let image_pages = result.image_words.div_ceil(ring_segmem::COW_PAGE_WORDS);
+    let hash = fnv1a64(result.merged.to_json().as_bytes());
+
+    println!(
+        "fleet: {} machines, {} threads, seed {:#x}",
+        result.machines.len(),
+        result.threads,
+        cfg.seed
+    );
+    println!(
+        "  completed {completed}/{}, {instructions} instructions in {:.3}s host \
+         ({:.0} aggregate ips)",
+        result.machines.len(),
+        result.wall_seconds,
+        instructions as f64 / result.wall_seconds.max(1e-9),
+    );
+    println!(
+        "  per-machine wall-clock: p50 {:.3}ms  p99 {:.3}ms  max {:.3}ms",
+        wall.p50 as f64 / 1e6,
+        wall.p99 as f64 / 1e6,
+        wall.max as f64 / 1e6,
+    );
+    println!(
+        "  cow image: {} pages shared, dirty p50 {} p99 {} per machine",
+        image_pages, dirty_stats.p50, dirty_stats.p99,
+    );
+    println!("  merged snapshot hash: fnv1a64:{hash:016x}");
+
+    std::fs::write(&out, fleet_json(&cfg, &result, quick)).expect("write report");
+    println!("wrote {out}");
+
+    assert_eq!(
+        completed,
+        result.machines.len(),
+        "every machine must run its workload to completion"
+    );
+}

@@ -1,0 +1,140 @@
+//! Fleet reporting: exact percentiles, a stable snapshot hash, and the
+//! `ring-fleet/bench/v1` JSON trajectory.
+
+use crate::{FleetConfig, FleetResult, WorkloadKind};
+
+/// Exact order statistics over a set of per-machine values (unlike the
+/// bucketed [`ring_metrics::HistogramSnapshot`] percentiles, these are
+/// computed from the full sorted sample).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Percentiles {
+    /// Smallest value (0 when empty).
+    pub min: u64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Largest value.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Percentiles {
+    /// Nearest-rank order statistics of `values` (need not be sorted).
+    pub fn of(values: &[u64]) -> Percentiles {
+        if values.is_empty() {
+            return Percentiles::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: f64| {
+            let n = sorted.len();
+            let k = ((p * n as f64).ceil() as usize).clamp(1, n);
+            sorted[k - 1]
+        };
+        Percentiles {
+            min: sorted[0],
+            p50: rank(0.50),
+            p99: rank(0.99),
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"min\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}, \"mean\": {:.1}}}",
+            self.min, self.p50, self.p99, self.max, self.mean
+        )
+    }
+}
+
+/// FNV-1a 64-bit hash — the fleet's merged-snapshot fingerprint. Tiny,
+/// dependency-free, and stable across platforms; CI compares it across
+/// worker-thread counts to enforce the determinism contract.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Serializes a fleet run as `ring-fleet/bench/v1` JSON.
+pub fn fleet_json(cfg: &FleetConfig, result: &FleetResult, quick: bool) -> String {
+    let count = |k: WorkloadKind| result.machines.iter().filter(|m| m.spec.kind == k).count();
+    let completed = result.machines.iter().filter(|m| m.completed).count();
+    let instructions: u64 = result.machines.iter().map(|m| m.instructions).sum();
+    let cycles: u64 = result.machines.iter().map(|m| m.cycles).sum();
+    let wall_ns: Vec<u64> = result.machines.iter().map(|m| m.wall_ns).collect();
+    let instr: Vec<u64> = result.machines.iter().map(|m| m.instructions).collect();
+    let dirty: Vec<u64> = result
+        .machines
+        .iter()
+        .map(|m| u64::from(m.dirty_pages))
+        .collect();
+    let image_pages = result.image_words.div_ceil(ring_segmem::COW_PAGE_WORDS);
+    let dirty_stats = Percentiles::of(&dirty);
+    let shared_fraction = if image_pages > 0 {
+        1.0 - (dirty_stats.mean / image_pages as f64).min(1.0)
+    } else {
+        0.0
+    };
+    let hash = fnv1a64(result.merged.to_json().as_bytes());
+    format!(
+        "{{\n  \"schema\": \"ring-fleet/bench/v1\",\n  \"quick\": {quick},\n  \
+         \"machines\": {machines},\n  \"threads\": {threads},\n  \"seed\": {seed},\n  \
+         \"workloads\": {{\"pagestorm\": {pagestorm}, \"gatestorm\": {gatestorm}}},\n  \
+         \"wall_seconds\": {wall:.6},\n  \
+         \"aggregate\": {{\"instructions\": {instructions}, \"cycles\": {cycles}, \
+         \"ips\": {ips:.1}, \"completed\": {completed}, \
+         \"context_switches\": {switches}, \"page_faults\": {pfaults}, \
+         \"ring_crossings\": {crossings}}},\n  \
+         \"per_machine\": {{\n    \"wall_ns\": {wall_pct},\n    \"instructions\": {instr_pct}\n  }},\n  \
+         \"cow\": {{\"phys_words\": {words}, \"image_pages\": {image_pages}, \
+         \"dirty_pages\": {dirty_pct}, \"shared_fraction\": {shared:.4}}},\n  \
+         \"merged_snapshot_hash\": \"fnv1a64:{hash:016x}\"\n}}\n",
+        machines = result.machines.len(),
+        threads = result.threads,
+        seed = cfg.seed,
+        pagestorm = count(WorkloadKind::PageStorm),
+        gatestorm = count(WorkloadKind::GateStorm),
+        wall = result.wall_seconds,
+        ips = instructions as f64 / result.wall_seconds.max(1e-9),
+        switches = result.merged.sched.context_switches,
+        pfaults = result.merged.sched.page_faults(),
+        crossings = result.merged.ring_changes,
+        wall_pct = Percentiles::of(&wall_ns).json(),
+        instr_pct = Percentiles::of(&instr).json(),
+        words = cfg.phys_words,
+        dirty_pct = dirty_stats.json(),
+        shared = shared_fraction,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_sample() {
+        let p = Percentiles::of(&[5, 1, 9, 3, 7]);
+        assert_eq!(p.min, 1);
+        assert_eq!(p.p50, 5);
+        assert_eq!(p.p99, 9);
+        assert_eq!(p.max, 9);
+        assert!((p.mean - 5.0).abs() < 1e-9);
+        let empty = Percentiles::of(&[]);
+        assert_eq!((empty.min, empty.max), (0, 0));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+}

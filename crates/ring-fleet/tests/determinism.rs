@@ -1,0 +1,131 @@
+//! The fleet determinism contract, pinned.
+//!
+//! Host threading is a scheduling convenience, never an input: a fleet
+//! run's merged snapshot must be bit-identical across worker-thread
+//! counts, and any single member must be bit-identical to the same
+//! spec run standalone on a private flat memory (the `runasm`-style
+//! single-machine path). The copy-on-write boot image is likewise
+//! required to be architecturally invisible.
+
+use ring_fleet::report::{fleet_json, fnv1a64};
+use ring_fleet::{build_image, run_fleet, run_member, run_standalone, FleetConfig, WorkloadMix};
+
+fn small_fleet() -> FleetConfig {
+    FleetConfig {
+        machines: 16,
+        mix: WorkloadMix::Mixed,
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn merged_snapshot_is_bit_identical_across_thread_counts() {
+    let one = run_fleet(&FleetConfig {
+        threads: 1,
+        ..small_fleet()
+    });
+    let eight = run_fleet(&FleetConfig {
+        threads: 8,
+        ..small_fleet()
+    });
+    assert_eq!(one.threads, 1);
+    assert_eq!(eight.threads, 8);
+    let json_one = one.merged.to_json();
+    let json_eight = eight.merged.to_json();
+    assert_eq!(json_one, json_eight, "merged snapshot depends on threads");
+    assert_eq!(fnv1a64(json_one.as_bytes()), fnv1a64(json_eight.as_bytes()));
+    // Per-machine results are index-addressed and equally invariant.
+    for (a, b) in one.machines.iter().zip(eight.machines.iter()) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.dirty_pages, b.dirty_pages);
+        assert_eq!(
+            a.snapshot.to_json(),
+            b.snapshot.to_json(),
+            "machine {} snapshot depends on threads",
+            a.spec.id
+        );
+    }
+}
+
+#[test]
+fn fleet_member_is_bit_identical_to_standalone_flat_run() {
+    let cfg = small_fleet();
+    for id in [0, 1] {
+        // One machine of each workload kind under the mixed assignment.
+        let spec = cfg.spec(id);
+        let image = build_image(&cfg, spec.kind);
+        let member = run_member(&image, &cfg, spec);
+        let standalone = run_standalone(&cfg, spec);
+        assert!(member.completed && standalone.completed);
+        assert_eq!(member.instructions, standalone.instructions);
+        assert_eq!(member.cycles, standalone.cycles);
+        assert_eq!(
+            member.snapshot.to_json(),
+            standalone.snapshot.to_json(),
+            "machine {id}: copy-on-write boot must be architecturally invisible"
+        );
+        assert_eq!(
+            standalone.dirty_pages, 0,
+            "flat boots have no copy-on-write overlay"
+        );
+    }
+}
+
+#[test]
+fn members_share_almost_all_of_the_image() {
+    let cfg = small_fleet();
+    let result = run_fleet(&cfg);
+    let image_pages = result.image_words.div_ceil(ring_segmem::COW_PAGE_WORDS) as u64;
+    assert!(image_pages > 0);
+    for m in &result.machines {
+        assert!(
+            u64::from(m.dirty_pages) <= image_pages / 4,
+            "machine {} dirtied {}/{} pages — the image is not shared",
+            m.spec.id,
+            m.dirty_pages,
+            image_pages
+        );
+    }
+}
+
+#[test]
+fn fleet_completes_and_reports_consistently() {
+    let cfg = small_fleet();
+    let result = run_fleet(&cfg);
+    assert_eq!(result.machines.len(), cfg.machines);
+    assert!(result.machines.iter().all(|m| m.completed));
+    let sum: u64 = result.machines.iter().map(|m| m.instructions).sum();
+    assert_eq!(
+        result.merged.instructions, sum,
+        "merged totals equal the sum of members"
+    );
+    let json = fleet_json(&cfg, &result, true);
+    for needle in [
+        "\"schema\": \"ring-fleet/bench/v1\"",
+        "\"machines\": 16",
+        "\"pagestorm\": 8",
+        "\"gatestorm\": 8",
+        "\"merged_snapshot_hash\": \"fnv1a64:",
+        "\"p50\"",
+        "\"p99\"",
+        "\"shared_fraction\"",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_fleet() {
+    let a = run_fleet(&small_fleet());
+    let b = run_fleet(&FleetConfig {
+        seed: 1,
+        ..small_fleet()
+    });
+    assert_ne!(
+        a.merged.to_json(),
+        b.merged.to_json(),
+        "the seed must actually steer the workloads"
+    );
+}

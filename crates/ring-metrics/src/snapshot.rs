@@ -405,6 +405,14 @@ impl MetricsSnapshot {
         self.prof.merge(&other.prof);
         self.trace_dropped += other.trace_dropped;
         merge_keyed(&mut self.extra, &other.extra);
+        // Canonicalize the supplementary-counter order. Unmerged
+        // snapshots list extras in export order; a merge may interleave
+        // keys from snapshots whose processes differ, and the append
+        // order would then depend on the fold shape. Fleet aggregation
+        // folds thousands of snapshots and demands exact associativity
+        // — sorted keys with summed values are the same bytes whichever
+        // way the fold tree is shaped.
+        self.extra.sort_by(|(a, _), (b, _)| a.cmp(b));
     }
 
     /// Appends a namespaced supplementary counter (e.g.
@@ -1034,5 +1042,106 @@ mod tests {
         let mut sorted = segnos.clone();
         sorted.sort_unstable();
         assert_eq!(segnos, sorted, "heatmap stays ascending after merge");
+    }
+
+    #[test]
+    fn snapshot_merge_empty_into_populated_keeps_bytes_meaningful() {
+        // Folding a disabled/empty snapshot in (a machine whose metrics
+        // never enabled, or the all-default fold seed) must not disturb
+        // any populated section.
+        let a = sample_snapshot();
+        let mut merged = a.clone();
+        merged.merge(&MetricsSnapshot::default());
+        assert_eq!(merged.to_json(), a.to_json());
+    }
+
+    #[test]
+    fn snapshot_merge_populated_into_empty_seeds_the_fold() {
+        // The fleet fold starts from MetricsSnapshot::default() — the
+        // first real snapshot folded in must come through exactly,
+        // modulo the canonical (sorted) extras order.
+        let a = sample_snapshot();
+        let mut merged = MetricsSnapshot::default();
+        merged.merge(&a);
+        let mut canonical = a.clone();
+        canonical.extra.sort_by(|(x, _), (y, _)| x.cmp(y));
+        assert_eq!(merged.to_json(), canonical.to_json());
+        assert!(merged.enabled);
+        assert_eq!(merged.instructions, a.instructions);
+        assert_eq!(merged.call_cycles.buckets, a.call_cycles.buckets);
+    }
+
+    #[test]
+    fn snapshot_merge_extras_collide_by_key_and_sort_canonically() {
+        let mut a = sample_snapshot();
+        let mut b = sample_snapshot();
+        // Insert in opposite orders so append-order would diverge.
+        a.push_extra("os.zeta", 1);
+        a.push_extra("os.alpha", 2);
+        b.push_extra("os.alpha", 5);
+        b.push_extra("os.zeta", 7);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.extra, ba.extra, "merged extras are order-canonical");
+        let keys: Vec<&str> = ab.extra.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "extras sorted by key after merge");
+        let get = |key: &str| ab.extra.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        assert_eq!(get("os.alpha"), Some(7), "colliding keys sum");
+        assert_eq!(get("os.zeta"), Some(8), "colliding keys sum");
+    }
+
+    #[test]
+    fn snapshot_merge_is_exactly_associative() {
+        // The fleet folds thousands of snapshots; the fold tree's shape
+        // must never show in the bytes. Build three snapshots with
+        // overlapping-but-distinct extras and heatmaps and compare
+        // (a⊕b)⊕c against a⊕(b⊕c) at the JSON byte level.
+        let mut a = sample_snapshot();
+        let mut b = sample_snapshot();
+        let mut c = sample_snapshot();
+        a.push_extra("os.proc.0.gate_calls", 3);
+        b.push_extra("os.proc.1.gate_calls", 4);
+        b.push_extra("os.proc.0.gate_calls", 1);
+        c.push_extra("os.proc.2.gate_calls", 9);
+        c.heatmap.push((
+            77,
+            SegHeat {
+                reads: 5,
+                writes: 0,
+                executes: 0,
+                violations: 1,
+            },
+        ));
+        b.call_cycles.merge(&hist_of(&[3, 3, 700]));
+        c.prof = ProfStats::default();
+
+        let mut left = MetricsSnapshot::default();
+        left.merge(&a);
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = MetricsSnapshot::default();
+        right.merge(&a);
+        right.merge(&bc);
+
+        assert_eq!(left.to_json(), right.to_json());
+        assert_eq!(left.to_csv(), right.to_csv());
+    }
+
+    #[test]
+    fn histogram_percentiles_clamp_to_observed_range_after_merge() {
+        let mut h = hist_of(&[100]);
+        h.merge(&hist_of(&[3]));
+        assert!(h.percentile(0.0) >= h.min);
+        assert!(h.percentile(1.0) <= h.max);
+        assert_eq!(h.percentile(1.0), 100);
+        let empty = hist_of(&[]);
+        assert_eq!(empty.percentile(0.5), 0, "empty histogram reports zero");
     }
 }

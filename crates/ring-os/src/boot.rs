@@ -69,6 +69,40 @@ impl Default for SystemConfig {
     }
 }
 
+/// A frozen boot image: a system's entire physical memory captured as
+/// a shared read-only array, plus the configuration that built it.
+///
+/// Build a prototype system once ([`System::boot_with`] plus workload
+/// installation), [`System::freeze`] it, then boot any number of
+/// machines from the image with [`System::boot_from_image`]. Each
+/// clone's memory is a copy-on-write view ([`ring_segmem::PhysMem::cow`])
+/// over the shared image, so per-machine footprint is only the pages a
+/// machine actually changes. The image is `Send + Sync` and cheap to
+/// clone across threads.
+#[derive(Clone)]
+pub struct BootImage {
+    cfg: SystemConfig,
+    base: std::sync::Arc<Vec<Word>>,
+}
+
+impl BootImage {
+    /// The configuration the image was frozen with (and that clones
+    /// boot with).
+    pub fn cfg(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// The image contents, by shared reference count.
+    pub fn share(&self) -> std::sync::Arc<Vec<Word>> {
+        std::sync::Arc::clone(&self.base)
+    }
+
+    /// Image length in words.
+    pub fn words(&self) -> usize {
+        self.base.len()
+    }
+}
+
 /// A booted system: machine plus supervisor state.
 pub struct System {
     /// The processor and memory.
@@ -78,6 +112,7 @@ pub struct System {
     /// Shared physical allocator.
     pub alloc: Rc<RefCell<PhysAllocator>>,
     template: Vec<(u32, Sdw)>,
+    cfg: SystemConfig,
 }
 
 impl System {
@@ -88,6 +123,41 @@ impl System {
 
     /// Boots with explicit configuration.
     pub fn boot_with(cfg: SystemConfig) -> System {
+        System::boot_on(cfg, ring_segmem::PhysMem::new(cfg.phys_words))
+    }
+
+    /// Boots over a frozen image: physical memory becomes a
+    /// copy-on-write view sharing the image's storage. The supervisor
+    /// is rebuilt host-side exactly as in a fresh boot; because
+    /// world-building pokes that store a word's existing value leave
+    /// the overlay untouched, a clone that replays the same boot and
+    /// workload sequence dirties no pages at all until it diverges.
+    pub fn boot_from_image(image: &BootImage) -> System {
+        let cfg = image.cfg();
+        System::boot_on(
+            cfg,
+            ring_segmem::PhysMem::cow(image.share(), cfg.phys_words),
+        )
+    }
+
+    /// Captures this system's physical memory as a shared read-only
+    /// [`BootImage`]. Freeze after world building and workload
+    /// installation, before any execution, so clones replay from the
+    /// exact installed state.
+    pub fn freeze(&self) -> BootImage {
+        BootImage {
+            cfg: self.cfg,
+            base: self.machine.phys().freeze_base(),
+        }
+    }
+
+    /// The configuration this system booted with.
+    pub fn cfg(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// Boots on an explicit physical memory (flat or copy-on-write).
+    fn boot_on(cfg: SystemConfig, phys: ring_segmem::PhysMem) -> System {
         let mconfig = MachineConfig {
             stack_rule: cfg.stack_rule,
             ea_rules: cfg.ea_rules,
@@ -98,7 +168,7 @@ impl System {
             fastpath: cfg.fastpath,
             ..MachineConfig::default()
         };
-        let mut machine = Machine::new(cfg.phys_words, mconfig);
+        let mut machine = Machine::with_phys(phys, mconfig);
         let mut alloc = PhysAllocator::new(0o100, cfg.phys_words as u32);
 
         let mut template: Vec<(u32, Sdw)> = Vec::new();
@@ -164,6 +234,7 @@ impl System {
             state,
             alloc,
             template,
+            cfg,
         }
     }
 

@@ -1,0 +1,138 @@
+//! Single-process microbenchmark worlds.
+//!
+//! These builders construct bare [`World`]s (no supervisor, no
+//! scheduler) whose entire cost profile is one hot loop; the
+//! throughput harness in `ring-bench` times them under both execution
+//! engines, and the determinism suites replay them. Each takes the
+//! fast-path switch and an iteration count and returns a world ready
+//! to [`ring_cpu::machine::Machine::run`] — halting via a native trap
+//! handler when the loop derails out.
+
+use ring_core::registers::{IndWord, PtrReg};
+use ring_core::ring::Ring;
+use ring_core::sdw::SdwBuilder;
+use ring_core::word::Word;
+use ring_cpu::isa::{Instr, Opcode};
+use ring_cpu::machine::MachineConfig;
+use ring_cpu::native::NativeAction;
+use ring_cpu::testkit::{addr, World};
+
+fn config(fastpath: bool) -> MachineConfig {
+    MachineConfig {
+        fastpath,
+        ..MachineConfig::default()
+    }
+}
+
+fn finish_world(mut w: World, code_seg: ring_core::addr::SegNo, source: &str) -> World {
+    let out = ring_asm::assemble(source).expect("workload program");
+    for (i, word) in out.words.iter().enumerate() {
+        w.poke(code_seg, i as u32, *word);
+    }
+    w.start(Ring::R4, code_seg, 0);
+    w
+}
+
+/// Same-ring counting loop: every instruction fast-path eligible and
+/// every operand a memory reference (no immediates), so each step pays
+/// the full validate/resolve sequence on the reference path.
+pub fn tight_loop(fastpath: bool, iters: u64) -> World {
+    let mut w = World::with_config(config(fastpath));
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(64),
+    );
+    let data = w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.poke(data, 0, Word::new(iters));
+    w.poke(data, 2, Word::new(1));
+    w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(11, 0)));
+    finish_world(
+        w,
+        code,
+        "
+loop:   aos pr1|1
+        lda pr1|0
+        sba pr1|2
+        sta pr1|0
+        tnz loop
+        drl 0o777
+",
+    )
+}
+
+/// One cross-ring CALL/RETURN round trip per iteration.
+pub fn gate_storm(fastpath: bool, iters: u64) -> World {
+    let mut w = World::with_config(config(fastpath));
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(64),
+    );
+    let data = w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    let gate = w.add_segment(
+        20,
+        SdwBuilder::procedure(Ring::R1, Ring::R1, Ring::R4)
+            .gates(1)
+            .bound_words(16),
+    );
+    w.add_standard_stacks(16);
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    // The gate body: immediately RETURN through the pointer the caller
+    // left in PR2 (real machine code, not a native stub, so fetches in
+    // ring 1 are part of the measured work).
+    w.poke_instr(gate, 0, Instr::pr_relative(Opcode::Return, 2, 0));
+    w.poke(data, 0, Word::new(iters));
+    w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(11, 0)));
+    finish_world(
+        w,
+        code,
+        "
+loop:   eap pr2, ret
+        eap pr3, gatep,*
+        call pr3|0
+ret:    lda pr1|0
+        sba =1
+        sta pr1|0
+        tnz loop
+        drl 0o777
+gatep:  its 1, 20, 0
+",
+    )
+}
+
+/// Each iteration loads through a three-deep indirect chain.
+pub fn indirect_chain(fastpath: bool, iters: u64) -> World {
+    let mut w = World::with_config(config(fastpath));
+    let code = w.add_segment(
+        10,
+        SdwBuilder::procedure(Ring::R4, Ring::R4, Ring::R4).bound_words(64),
+    );
+    let data = w.add_segment(11, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    let table = w.add_segment(12, SdwBuilder::data(Ring::R4, Ring::R4).bound_words(16));
+    let trap = w.add_trap_segment();
+    w.machine
+        .register_native(trap, |_, _| Ok(NativeAction::Halt));
+    w.write_ind_word(table, 0, IndWord::new(Ring::R4, addr(12, 2), true));
+    w.write_ind_word(table, 2, IndWord::new(Ring::R4, addr(12, 4), true));
+    w.write_ind_word(table, 4, IndWord::new(Ring::R4, addr(11, 2), false));
+    w.poke(data, 0, Word::new(iters));
+    w.poke(data, 2, Word::new(0o1234));
+    w.machine.set_pr(1, PtrReg::new(Ring::R4, addr(11, 0)));
+    w.machine.set_pr(2, PtrReg::new(Ring::R4, addr(12, 0)));
+    finish_world(
+        w,
+        code,
+        "
+loop:   lda pr2|0,*
+        lda pr1|0
+        sba =1
+        sta pr1|0
+        tnz loop
+        drl 0o777
+",
+    )
+}

@@ -1,4 +1,4 @@
-//! Canned multiprocess workloads.
+//! Multiprocess storm workloads on a booted system.
 //!
 //! The *page storm* is the standard demand-paging stressor used by the
 //! CLIs, the CI smoke test, and the record/replay suite: each process
@@ -10,6 +10,11 @@
 //! exercises CLOCK selection, drum write-back, TLB shoot-down, and the
 //! major-fault block/wake path; the interval timer meanwhile slices
 //! the processor between them.
+//!
+//! The *gate storm* is its cross-ring sibling: each process hammers a
+//! ring-1 supervisor gate (`ring1$acct_charge`) in a tight loop, so
+//! the dominant cost is CALL/RETURN ring crossings and supervisor
+//! dispatch rather than paging.
 
 use ring_core::ring::Ring;
 use ring_core::sdw::SdwBuilder;
@@ -17,6 +22,7 @@ use ring_core::word::Word;
 
 use crate::acl::{Acl, AclEntry, Modes};
 use crate::boot::System;
+use crate::conventions::{ring1, segs};
 use crate::process::KstEntry;
 use ring_segmem::paging::PAGE_WORDS;
 
@@ -41,16 +47,16 @@ impl Default for StormSpec {
     }
 }
 
-/// One installed page-storm process.
+/// One installed storm process.
 #[derive(Clone, Debug)]
 pub struct StormProc {
     /// Process id (`login` order).
     pub pid: usize,
-    /// Code segment number of the sweep program.
+    /// Code segment number of the storm program.
     pub code_segno: u32,
-    /// Entry offset of the sweep program.
+    /// Entry offset of the storm program.
     pub entry: u32,
-    /// Segment number of the paged data segment.
+    /// Segment number of the process's private data segment.
     pub data_segno: u32,
 }
 
@@ -162,14 +168,100 @@ where
             data_segno,
         });
     }
-    // The first process runs immediately: point the machine at it and
-    // take it back off the ready queue (it is no longer waiting).
-    let first = out[0].clone();
-    sys.prepare(first.pid, first.code_segno, first.entry, Ring::R4);
-    {
-        let mut st = sys.state.borrow_mut();
-        st.sched.remove(first.pid);
-        st.processes[first.pid].saved = None;
-    }
+    activate_first(sys, &out);
     out
+}
+
+/// Shape of a gate-storm workload.
+#[derive(Clone, Copy, Debug)]
+pub struct GateStormSpec {
+    /// Number of processes to create.
+    pub procs: usize,
+    /// Gate CALL/RETURN round trips each process performs before
+    /// exiting.
+    pub rounds: u32,
+}
+
+impl Default for GateStormSpec {
+    fn default() -> Self {
+        GateStormSpec {
+            procs: 4,
+            rounds: 30,
+        }
+    }
+}
+
+/// The assembly of one gate-storm program: `rounds` CALLs through the
+/// ring-1 `acct_charge` gate, then exit via the derail convention. The
+/// gate leaves its status in the accumulator, so the loop counter lives
+/// in the process's private data segment (word 0), reached through an
+/// indirect pointer — code segments are execute-only here.
+fn gate_storm_source(data_segno: u32) -> String {
+    format!(
+        "loop:   eap pr1, args
+        eap pr2, ret
+        eap pr3, gatep,*
+        call pr3|0
+ret:    eap pr4, cntp,*
+        lda pr4|0
+        sba one
+        sta pr4|0
+        tnz loop
+        drl 0o{exit:o}
+one:    dw 1
+gatep:  its 4, {ring1}, {entry}
+cntp:   its 4, {data}, 0
+args:   its 4, {data}, 1
+",
+        exit = crate::traps::EXIT_CODE,
+        ring1 = segs::RING1,
+        entry = ring1::ACCT_CHARGE,
+        data = data_segno,
+    )
+}
+
+/// Builds a gate-storm world on a booted system: one process per slot,
+/// each with a small private data segment (round counter at word 0, a
+/// unit charge argument at word 1) and a program that CALLs the ring-1
+/// accounting gate `rounds` times. All processes are parked ready and
+/// the first is activated, exactly as in [`install_page_storm`].
+///
+/// # Panics
+///
+/// Panics on exhausted memory or assembly errors.
+pub fn install_gate_storm(sys: &mut System, spec: &GateStormSpec) -> Vec<StormProc> {
+    let mut out = Vec::with_capacity(spec.procs);
+    for i in 0..spec.procs {
+        let user = format!("gate{i}");
+        let pid = sys.login(&user);
+        let data = sys.install_data(
+            pid,
+            Ring::R4,
+            Ring::R4,
+            &[Word::new(u64::from(spec.rounds)), Word::new(1)],
+            16,
+        );
+        debug_assert_eq!(data.segno, STORM_DATA_SEGNO);
+        let staged = sys.install_code(pid, Ring::R4, Ring::R4, 0, &gate_storm_source(data.segno));
+        sys.prepare(pid, staged.segno, 0, Ring::R4);
+        sys.park(pid);
+        out.push(StormProc {
+            pid,
+            code_segno: staged.segno,
+            entry: 0,
+            data_segno: data.segno,
+        });
+    }
+    activate_first(sys, &out);
+    out
+}
+
+/// The first installed process runs immediately: point the machine at
+/// it and take it back off the ready queue (it is no longer waiting).
+fn activate_first(sys: &mut System, procs: &[StormProc]) {
+    let first = procs[0].clone();
+    sys.prepare(first.pid, first.code_segno, first.entry, Ring::R4);
+    let mut st = sys.state.borrow_mut();
+    st.sched.remove(first.pid);
+    st.processes[first.pid].saved = None;
 }

@@ -5,7 +5,7 @@
 use ring_cpu::machine::RunExit;
 use ring_cpu::recorder::{replay, run_recorded, Recorder};
 use ring_os::boot::{System, SystemConfig};
-use ring_os::workload::{install_page_storm, StormProc, StormSpec};
+use ring_os::workload::{install_page_storm, GateStormSpec, StormProc, StormSpec};
 
 fn build(spec: StormSpec, frames: u32, quantum: u64) -> (System, Vec<StormProc>) {
     let cfg = SystemConfig {
@@ -272,4 +272,100 @@ fn processes_keep_private_page_contents() {
             assert_eq!(got, want, "process {} page {page}", p.pid);
         }
     }
+}
+
+#[test]
+fn gate_storm_processes_hammer_ring1_and_exit() {
+    let cfg = SystemConfig {
+        quantum: 400,
+        ..SystemConfig::default()
+    };
+    let mut sys = System::boot_with(cfg);
+    let spec = GateStormSpec {
+        procs: 3,
+        rounds: 20,
+    };
+    let procs = ring_os::workload::install_gate_storm(&mut sys, &spec);
+    sys.enable_metrics();
+    sys.machine.set_timer(Some(400));
+    let exit = sys.machine.run(5_000_000);
+    assert_eq!(exit, RunExit::Halted, "gate storm should run to completion");
+    let st = sys.state.borrow();
+    for p in &procs {
+        let ps = &st.processes[p.pid];
+        assert_eq!(
+            ps.aborted.as_deref(),
+            Some("exit"),
+            "process {} should exit cleanly",
+            p.pid
+        );
+        assert_eq!(
+            ps.gate_calls,
+            u64::from(spec.rounds),
+            "process {} should make one gate call per round",
+            p.pid
+        );
+    }
+    assert!(
+        st.sched.stats.context_switches > 0,
+        "processes should interleave under the quantum"
+    );
+}
+
+#[test]
+fn boot_from_image_replays_bit_identically_and_stays_clean() {
+    let cfg = SystemConfig {
+        quantum: 400,
+        phys_words: 1 << 17,
+        frame_budget: Some(8),
+        ..SystemConfig::default()
+    };
+    let spec = StormSpec {
+        procs: 2,
+        pages: 5,
+        rounds: 10,
+    };
+    // Prototype: boot, install, freeze — never run.
+    let mut proto = System::boot_with(cfg);
+    install_page_storm(&mut proto, &spec);
+    let image = proto.freeze();
+
+    let run = |mut sys: System| {
+        install_page_storm(&mut sys, &spec);
+        sys.enable_metrics();
+        sys.machine.set_timer(Some(400));
+        let exit = sys.machine.run(5_000_000);
+        assert_eq!(exit, RunExit::Halted);
+        (sys.metrics_json(), sys.machine.phys().dirty_pages())
+    };
+
+    let (flat_json, _) = run(System::boot_with(cfg));
+    let mut cow_sys = System::boot_from_image(&image);
+    assert!(cow_sys.machine.phys().is_cow());
+    let before_run = cow_sys.machine.phys().dirty_pages();
+    assert_eq!(
+        before_run, 0,
+        "replaying the identical world build must dirty no pages"
+    );
+    install_page_storm(&mut cow_sys, &spec);
+    assert_eq!(
+        cow_sys.machine.phys().dirty_pages(),
+        0,
+        "replaying the identical workload install must dirty no pages"
+    );
+    cow_sys.enable_metrics();
+    cow_sys.machine.set_timer(Some(400));
+    let exit = cow_sys.machine.run(5_000_000);
+    assert_eq!(exit, RunExit::Halted);
+    assert_eq!(
+        cow_sys.metrics_json(),
+        flat_json,
+        "copy-on-write boot must be architecturally invisible"
+    );
+    let dirty = cow_sys.machine.phys().dirty_pages() as usize;
+    let total = image.words().div_ceil(1024);
+    assert!(
+        dirty < total / 2,
+        "execution should dirty a minority of the image ({dirty}/{total})"
+    );
 }

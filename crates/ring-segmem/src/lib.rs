@@ -27,6 +27,6 @@ pub use fastpath::{FastHit, RingTlb, TlbStats};
 pub use frames::{FrameOwner, FramePool};
 pub use layout::PhysAllocator;
 pub use paging::{Ptw, PAGE_WORDS};
-pub use phys::PhysMem;
+pub use phys::{PhysMem, COW_PAGE_WORDS};
 pub use sdw_cache::{CacheStats, SdwCache, SdwCacheState};
 pub use translate::Translator;

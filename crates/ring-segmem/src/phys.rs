@@ -4,12 +4,49 @@
 //! All descriptor segments, page tables, and segment bodies live here;
 //! the processor reaches it only through address translation
 //! ([`crate::translate`]).
+//!
+//! Memory comes in two backings. [`PhysMem::new`] builds the classic
+//! flat array. [`PhysMem::cow`] builds a copy-on-write view over a
+//! shared read-only base image ([`Arc`]`<Vec<Word>>`): reads fall
+//! through to the base, and the first write to any [`COW_PAGE_WORDS`]
+//! aligned page materializes a private copy of that page. A fleet of
+//! machines booted from one frozen image therefore shares almost all
+//! of its storage — each machine pays only for the pages it actually
+//! changes.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use ring_core::access::Fault;
 use ring_core::addr::AbsAddr;
 use ring_core::word::Word;
+
+/// Granularity of the copy-on-write overlay, in words. Chosen to match
+/// the hardware page size so a dirtied page of simulated core maps to
+/// exactly one privately materialized host allocation.
+pub const COW_PAGE_WORDS: usize = 1024;
+
+/// Storage behind a [`PhysMem`]: either a private flat array or a
+/// copy-on-write overlay above a shared read-only base image.
+#[derive(Clone)]
+enum Backing {
+    /// Every word privately owned (the classic layout).
+    Flat(Vec<Word>),
+    /// Shared base image plus private dirty pages.
+    Cow {
+        /// The frozen boot image, shared by reference count across
+        /// every machine cloned from it. Never written.
+        base: Arc<Vec<Word>>,
+        /// Configured size in words (may exceed `base.len()`; words
+        /// past the base read as zero until written).
+        size: usize,
+        /// Private overlay, one optional page per [`COW_PAGE_WORDS`]
+        /// window. `None` means the window still reads from `base`.
+        pages: Vec<Option<Box<[Word]>>>,
+        /// Number of materialized (dirtied) pages.
+        dirty: u32,
+    },
+}
 
 /// Physical memory: up to 2^24 36-bit words.
 ///
@@ -27,7 +64,7 @@ use ring_core::word::Word;
 /// slow path and the fault is raised identically either way.
 #[derive(Clone)]
 pub struct PhysMem {
-    words: Vec<Word>,
+    backing: Backing,
     reads: u64,
     writes: u64,
     /// Absolute addresses whose parity is bad (sorted for canonical
@@ -54,7 +91,7 @@ impl PhysMem {
     pub fn new(words: usize) -> PhysMem {
         assert!(words <= Self::MAX_WORDS, "physical memory too large");
         PhysMem {
-            words: vec![Word::ZERO; words],
+            backing: Backing::Flat(vec![Word::ZERO; words]),
             reads: 0,
             writes: 0,
             poisoned: BTreeSet::new(),
@@ -63,9 +100,122 @@ impl PhysMem {
         }
     }
 
+    /// Creates a copy-on-write memory of `words` words above the shared
+    /// read-only `base` image. Words beyond `base.len()` read as zero
+    /// until written. No page storage is allocated up front; each
+    /// [`COW_PAGE_WORDS`] window is copied privately on first write.
+    ///
+    /// The fresh view starts with zeroed traffic counters, no poison,
+    /// and a zero high-water mark, exactly like [`PhysMem::new`] — a
+    /// machine booted over the image replays its world-building pokes
+    /// and rebuilds those marks deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` exceeds [`PhysMem::MAX_WORDS`] or the base
+    /// image is larger than `words`.
+    pub fn cow(base: Arc<Vec<Word>>, words: usize) -> PhysMem {
+        assert!(words <= Self::MAX_WORDS, "physical memory too large");
+        assert!(base.len() <= words, "base image larger than memory");
+        let windows = words.div_ceil(COW_PAGE_WORDS);
+        PhysMem {
+            backing: Backing::Cow {
+                base,
+                size: words,
+                pages: vec![None; windows],
+                dirty: 0,
+            },
+            reads: 0,
+            writes: 0,
+            poisoned: BTreeSet::new(),
+            repaired: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Reads slot `i`, overlay first (no counting, no parity check).
+    #[inline]
+    fn get(&self, i: usize) -> Option<Word> {
+        match &self.backing {
+            Backing::Flat(words) => words.get(i).copied(),
+            Backing::Cow {
+                base, size, pages, ..
+            } => {
+                if i >= *size {
+                    return None;
+                }
+                match &pages[i / COW_PAGE_WORDS] {
+                    Some(page) => Some(page[i % COW_PAGE_WORDS]),
+                    None => Some(base.get(i).copied().unwrap_or(Word::ZERO)),
+                }
+            }
+        }
+    }
+
+    /// Mutable access to slot `i`, materializing the private copy of
+    /// its page when the backing is copy-on-write.
+    #[inline]
+    fn slot_mut(&mut self, i: usize) -> Option<&mut Word> {
+        match &mut self.backing {
+            Backing::Flat(words) => words.get_mut(i),
+            Backing::Cow {
+                base,
+                size,
+                pages,
+                dirty,
+            } => {
+                if i >= *size {
+                    return None;
+                }
+                let window = i / COW_PAGE_WORDS;
+                if pages[window].is_none() {
+                    let lo = window * COW_PAGE_WORDS;
+                    let mut page = vec![Word::ZERO; COW_PAGE_WORDS].into_boxed_slice();
+                    for (k, slot) in page.iter_mut().enumerate() {
+                        if let Some(w) = base.get(lo + k) {
+                            *slot = *w;
+                        }
+                    }
+                    pages[window] = Some(page);
+                    *dirty += 1;
+                }
+                pages[window].as_mut().map(|p| &mut p[i % COW_PAGE_WORDS])
+            }
+        }
+    }
+
     /// Size in words.
     pub fn size(&self) -> usize {
-        self.words.len()
+        match &self.backing {
+            Backing::Flat(words) => words.len(),
+            Backing::Cow { size, .. } => *size,
+        }
+    }
+
+    /// Number of privately materialized (dirtied) copy-on-write pages.
+    /// Zero for flat memory.
+    pub fn dirty_pages(&self) -> u32 {
+        match &self.backing {
+            Backing::Flat(_) => 0,
+            Backing::Cow { dirty, .. } => *dirty,
+        }
+    }
+
+    /// True when this memory is a copy-on-write view over a shared
+    /// base image.
+    pub fn is_cow(&self) -> bool {
+        matches!(self.backing, Backing::Cow { .. })
+    }
+
+    /// Captures the full current contents as a shared read-only image
+    /// suitable for [`PhysMem::cow`]. Uncounted.
+    pub fn freeze_base(&self) -> Arc<Vec<Word>> {
+        let size = self.size();
+        let mut image = Vec::with_capacity(size);
+        for i in 0..size {
+            image.push(self.get(i).unwrap_or(Word::ZERO));
+        }
+        Arc::new(image)
     }
 
     /// Reads the word at `addr`. A counted read is parity-checked: a
@@ -73,9 +223,7 @@ impl PhysMem {
     pub fn read(&mut self, addr: AbsAddr) -> Result<Word, Fault> {
         self.reads += 1;
         let word = self
-            .words
             .get(addr.value() as usize)
-            .copied()
             .ok_or(Fault::PhysicalBounds { abs: addr.value() })?;
         if !self.poisoned.is_empty() && self.poisoned.contains(&addr.value()) {
             return Err(Fault::ParityError { abs: addr.value() });
@@ -88,7 +236,7 @@ impl PhysMem {
     #[inline]
     pub fn write(&mut self, addr: AbsAddr, value: Word) -> Result<(), Fault> {
         self.writes += 1;
-        match self.words.get_mut(addr.value() as usize) {
+        match self.slot_mut(addr.value() as usize) {
             Some(slot) => {
                 *slot = value;
                 self.high_water = self.high_water.max(addr.value() + 1);
@@ -105,9 +253,7 @@ impl PhysMem {
     /// trace printers and tests that must not perturb cycle counts).
     #[inline]
     pub fn peek(&self, addr: AbsAddr) -> Result<Word, Fault> {
-        self.words
-            .get(addr.value() as usize)
-            .copied()
+        self.get(addr.value() as usize)
             .ok_or(Fault::PhysicalBounds { abs: addr.value() })
     }
 
@@ -115,14 +261,25 @@ impl PhysMem {
     /// and supervisor repair). Clears any poison on the word without
     /// counting it as a latent repair — a deliberate poke is either
     /// world-building or recovery, not a program racing a fault.
+    ///
+    /// A poke whose value already matches the stored word (and whose
+    /// parity is clean) is a no-op apart from the high-water mark, so
+    /// it never dirties a copy-on-write page. Replaying the boot-time
+    /// world-building sequence over a frozen image of its own result
+    /// therefore leaves the overlay empty.
     pub fn poke(&mut self, addr: AbsAddr, value: Word) -> Result<(), Fault> {
-        match self.words.get_mut(addr.value() as usize) {
-            Some(slot) => {
-                *slot = value;
+        let i = addr.value() as usize;
+        match self.get(i) {
+            Some(current) => {
                 self.high_water = self.high_water.max(addr.value() + 1);
-                if !self.poisoned.is_empty() {
+                let poisoned = !self.poisoned.is_empty() && self.poisoned.contains(&addr.value());
+                if current == value && !poisoned {
+                    return Ok(());
+                }
+                if poisoned {
                     self.poisoned.remove(&addr.value());
                 }
+                *self.slot_mut(i).expect("slot bounds-checked by get") = value;
                 Ok(())
             }
             None => Err(Fault::PhysicalBounds { abs: addr.value() }),
@@ -146,18 +303,30 @@ impl PhysMem {
     /// The nonzero words with their absolute addresses, for sparse
     /// machine-image capture (uncounted).
     pub fn nonzero_words(&self) -> Vec<(u32, Word)> {
-        self.words
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| w.raw() != 0)
-            .map(|(i, w)| (i as u32, *w))
-            .collect()
+        let size = self.size();
+        let mut out = Vec::new();
+        for i in 0..size {
+            if let Some(w) = self.get(i) {
+                if w.raw() != 0 {
+                    out.push((i as u32, w));
+                }
+            }
+        }
+        out
     }
 
     /// Zeroes every word without touching the traffic counters (image
-    /// restore repopulates from a sparse capture afterwards).
+    /// restore repopulates from a sparse capture afterwards). A
+    /// copy-on-write view detaches from its base image and becomes a
+    /// private flat array — restore rebuilds arbitrary contents, so
+    /// sharing is over.
     pub fn zero_all(&mut self) {
-        self.words.fill(Word::ZERO);
+        match &mut self.backing {
+            Backing::Flat(words) => words.fill(Word::ZERO),
+            Backing::Cow { size, .. } => {
+                self.backing = Backing::Flat(vec![Word::ZERO; *size]);
+            }
+        }
     }
 
     /// Overwrites the traffic counters (image restore; the counters
@@ -180,7 +349,7 @@ impl PhysMem {
         if mask == 0 {
             return false;
         }
-        match self.words.get_mut(abs as usize) {
+        match self.slot_mut(abs as usize) {
             Some(slot) => {
                 *slot = Word::new(slot.raw() ^ mask);
                 self.poisoned.insert(abs);
@@ -245,7 +414,9 @@ impl PhysMem {
 impl core::fmt::Debug for PhysMem {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("PhysMem")
-            .field("size", &self.words.len())
+            .field("size", &self.size())
+            .field("cow", &self.is_cow())
+            .field("dirty_pages", &self.dirty_pages())
             .field("reads", &self.reads)
             .field("writes", &self.writes)
             .finish()
@@ -348,6 +519,23 @@ mod tests {
     }
 
     #[test]
+    fn poke_repairs_poison_even_when_value_matches() {
+        // A poke that stores the word's existing value must still clear
+        // poison — the equality short-circuit only applies to clean
+        // words.
+        let mut m = PhysMem::new(16);
+        let a = AbsAddr::new(4).unwrap();
+        m.poke(a, Word::new(0o55)).unwrap();
+        // Zero mask would be rejected; poison via a mask that cancels:
+        // corrupt twice with the same mask restores contents but the
+        // second corrupt re-poisons, so poke the original value back.
+        assert!(m.corrupt(4, 0o11));
+        m.poke(a, Word::new(0o44)).unwrap();
+        assert!(!m.is_poisoned(a));
+        assert_eq!(m.peek(a).unwrap(), Word::new(0o44));
+    }
+
+    #[test]
     fn corrupt_rejects_out_of_range_and_zero_mask() {
         let mut m = PhysMem::new(4);
         assert!(!m.corrupt(4, 1));
@@ -379,5 +567,128 @@ mod tests {
         m.write(AbsAddr::new(40).unwrap(), Word::new(1)).unwrap();
         m.poke(AbsAddr::new(5).unwrap(), Word::new(1)).unwrap();
         assert_eq!(m.high_water(), 41);
+    }
+
+    #[test]
+    fn high_water_counts_equal_value_pokes() {
+        // The equality short-circuit must not hide the fact that the
+        // address was deliberately written.
+        let mut m = PhysMem::new(64);
+        m.poke(AbsAddr::new(30).unwrap(), Word::ZERO).unwrap();
+        assert_eq!(m.high_water(), 31);
+    }
+
+    fn base_image(words: &[(usize, u64)], size: usize) -> Arc<Vec<Word>> {
+        let mut v = vec![Word::ZERO; size];
+        for &(i, raw) in words {
+            v[i] = Word::new(raw);
+        }
+        Arc::new(v)
+    }
+
+    #[test]
+    fn cow_reads_fall_through_to_base() {
+        let base = base_image(&[(3, 0o7), (2050, 0o42)], 4096);
+        let mut m = PhysMem::cow(base, 4096);
+        assert_eq!(m.peek(AbsAddr::new(3).unwrap()).unwrap(), Word::new(0o7));
+        assert_eq!(
+            m.read(AbsAddr::new(2050).unwrap()).unwrap(),
+            Word::new(0o42)
+        );
+        assert_eq!(m.dirty_pages(), 0, "reads never materialize pages");
+        assert!(m.is_cow());
+    }
+
+    #[test]
+    fn cow_write_dirties_exactly_one_page() {
+        let base = base_image(&[(0, 1), (1500, 2)], 4096);
+        let mut m = PhysMem::cow(Arc::clone(&base), 4096);
+        m.write(AbsAddr::new(1024).unwrap(), Word::new(0o77))
+            .unwrap();
+        assert_eq!(m.dirty_pages(), 1);
+        // The rest of the dirtied page still shows base contents.
+        assert_eq!(m.peek(AbsAddr::new(1500).unwrap()).unwrap(), Word::new(2));
+        // Other machines sharing the base are unaffected.
+        assert_eq!(base[1024], Word::ZERO);
+        // A second write to the same page allocates nothing new.
+        m.write(AbsAddr::new(1025).unwrap(), Word::new(1)).unwrap();
+        assert_eq!(m.dirty_pages(), 1);
+    }
+
+    #[test]
+    fn cow_equal_poke_leaves_overlay_clean() {
+        let base = base_image(&[(10, 0o123), (11, 0o456)], 2048);
+        let mut m = PhysMem::cow(base, 2048);
+        // Replaying the world-building value dirties nothing...
+        m.poke(AbsAddr::new(10).unwrap(), Word::new(0o123)).unwrap();
+        assert_eq!(m.dirty_pages(), 0);
+        assert_eq!(m.high_water(), 11, "the poke still counts as a write mark");
+        // ...while a differing value copies the page.
+        m.poke(AbsAddr::new(11).unwrap(), Word::new(0o457)).unwrap();
+        assert_eq!(m.dirty_pages(), 1);
+        assert_eq!(m.peek(AbsAddr::new(11).unwrap()).unwrap(), Word::new(0o457));
+        assert_eq!(m.peek(AbsAddr::new(10).unwrap()).unwrap(), Word::new(0o123));
+    }
+
+    #[test]
+    fn cow_extends_past_base_with_zeros() {
+        let base = base_image(&[(5, 9)], 1024);
+        let mut m = PhysMem::cow(base, 4096);
+        assert_eq!(m.size(), 4096);
+        assert_eq!(m.peek(AbsAddr::new(3000).unwrap()).unwrap(), Word::ZERO);
+        m.write(AbsAddr::new(3000).unwrap(), Word::new(4)).unwrap();
+        assert_eq!(m.read(AbsAddr::new(3000).unwrap()).unwrap(), Word::new(4));
+        assert!(m.read(AbsAddr::new(4096).unwrap()).is_err());
+    }
+
+    #[test]
+    fn freeze_base_round_trips_through_cow() {
+        let mut flat = PhysMem::new(3000);
+        flat.poke(AbsAddr::new(7).unwrap(), Word::new(0o70))
+            .unwrap();
+        flat.poke(AbsAddr::new(2999).unwrap(), Word::new(0o17))
+            .unwrap();
+        let image = flat.freeze_base();
+        assert_eq!(image.len(), 3000);
+        let m = PhysMem::cow(image, 3000);
+        assert_eq!(m.peek(AbsAddr::new(7).unwrap()).unwrap(), Word::new(0o70));
+        assert_eq!(
+            m.peek(AbsAddr::new(2999).unwrap()).unwrap(),
+            Word::new(0o17)
+        );
+        assert_eq!(m.nonzero_words(), flat.nonzero_words());
+    }
+
+    #[test]
+    fn freeze_base_captures_overlay_edits() {
+        let base = base_image(&[(1, 5)], 2048);
+        let mut m = PhysMem::cow(base, 2048);
+        m.poke(AbsAddr::new(1040).unwrap(), Word::new(6)).unwrap();
+        let refrozen = m.freeze_base();
+        assert_eq!(refrozen[1], Word::new(5));
+        assert_eq!(refrozen[1040], Word::new(6));
+    }
+
+    #[test]
+    fn cow_zero_all_detaches_from_base() {
+        let base = base_image(&[(0, 1)], 1024);
+        let mut m = PhysMem::cow(Arc::clone(&base), 1024);
+        m.zero_all();
+        assert!(!m.is_cow());
+        assert_eq!(m.peek(AbsAddr::new(0).unwrap()).unwrap(), Word::ZERO);
+        assert_eq!(base[0], Word::new(1), "the shared image survives");
+    }
+
+    #[test]
+    fn cow_chaos_corrupt_and_repair() {
+        let base = base_image(&[(9, 0o70)], 1024);
+        let mut m = PhysMem::cow(base, 1024);
+        assert!(m.corrupt(9, 0o7));
+        assert_eq!(m.dirty_pages(), 1, "corruption copies the page privately");
+        let a = AbsAddr::new(9).unwrap();
+        assert!(matches!(m.read(a), Err(Fault::ParityError { abs: 9 })));
+        m.write(a, Word::new(0o70)).unwrap();
+        assert_eq!(m.repaired_count(), 1);
+        assert_eq!(m.read(a).unwrap(), Word::new(0o70));
     }
 }

@@ -33,6 +33,9 @@
 //!   deterministic sampling profiler (folded-stack / flamegraph
 //!   export), interval time-series telemetry, and Perfetto counter
 //!   tracks.
+//! * [`fleet`] (`ring-fleet`) — thousands of deterministic machines
+//!   across host threads, booted from one shared copy-on-write image,
+//!   with fleet-level snapshot aggregation (see `docs/FLEET.md`).
 //!
 //! # Quickstart
 //!
@@ -57,6 +60,7 @@
 pub use ring_asm as asm;
 pub use ring_core as core;
 pub use ring_cpu as cpu;
+pub use ring_fleet as fleet;
 pub use ring_metrics as metrics;
 pub use ring_os as os;
 pub use ring_prof as prof;
