@@ -1,0 +1,114 @@
+//! Machine-failure classification for fleet supervision.
+//!
+//! The paper's layered-supervisor argument is that faults are
+//! *contained*: damage in an outer ring never reaches the rings below,
+//! and a machine whose own ring 0 is damaged takes the whole machine —
+//! but nothing else — down with it. At fleet scale the "system above"
+//! is the supervisor process running the machines, and these are the
+//! terminal outcomes it heals around: a machine is restarted from its
+//! last checkpoint, and quarantined when restarts stop helping.
+
+/// Why a supervised machine's run attempt failed terminally (after
+/// ring-0 recovery had its chance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FailureClass {
+    /// The machine exhausted its cycle or instruction budget without
+    /// halting — wedged or livelocked (the watchdog fired).
+    Wedged,
+    /// An unrecoverable kernel panic: a fault occurred while entering
+    /// a trap (double fault), so ring 0 itself cannot run.
+    KernelPanic,
+    /// Recovery claimed success but the post-recovery protection
+    /// invariants do not hold — the machine's protection state can no
+    /// longer be trusted.
+    InvariantViolation,
+    /// The simulation host itself failed (a worker panic while running
+    /// the machine) — the fleet analogue of losing the physical box.
+    HostPanic,
+}
+
+impl FailureClass {
+    /// Every class, in a stable order (serialization and report order).
+    pub const ALL: [FailureClass; 4] = [
+        FailureClass::Wedged,
+        FailureClass::KernelPanic,
+        FailureClass::InvariantViolation,
+        FailureClass::HostPanic,
+    ];
+
+    /// Stable machine-readable name (health reports, quarantine
+    /// hashes).
+    pub fn key(self) -> &'static str {
+        match self {
+            FailureClass::Wedged => "wedged",
+            FailureClass::KernelPanic => "kernel_panic",
+            FailureClass::InvariantViolation => "invariant_violation",
+            FailureClass::HostPanic => "host_panic",
+        }
+    }
+
+    /// Parses a [`FailureClass::key`] name.
+    pub fn parse(s: &str) -> Option<FailureClass> {
+        FailureClass::ALL.into_iter().find(|c| c.key() == s)
+    }
+}
+
+impl std::fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One terminal failure of one run attempt, as the supervisor records
+/// it: what class, when (simulated cycles at detection), on which
+/// attempt, and a human-readable detail line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineFailure {
+    /// The failure class (restart/quarantine policy input).
+    pub class: FailureClass,
+    /// Simulated cycles on the machine's clock when the failure was
+    /// detected (0 when the machine was lost before it could report).
+    pub at_cycles: u64,
+    /// Which run attempt failed (0 = the original run).
+    pub attempt: u32,
+    /// Human-readable description (double-fault kind, invariant
+    /// violated, panic message, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for MachineFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at cycle {} (attempt {}): {}",
+            self.class, self.at_cycles, self.attempt, self.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_parse_back() {
+        for class in FailureClass::ALL {
+            assert_eq!(FailureClass::parse(class.key()), Some(class));
+        }
+        assert_eq!(FailureClass::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn failure_display_names_everything() {
+        let f = MachineFailure {
+            class: FailureClass::KernelPanic,
+            at_cycles: 1234,
+            attempt: 2,
+            detail: "double fault: ParityError".to_string(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("kernel_panic"), "{s}");
+        assert!(s.contains("1234"), "{s}");
+        assert!(s.contains("attempt 2"), "{s}");
+    }
+}

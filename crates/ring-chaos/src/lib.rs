@@ -16,11 +16,13 @@
 
 #![deny(clippy::unwrap_used)]
 
+pub mod failure;
 pub mod plan;
 pub mod rng;
 
+pub use failure::{FailureClass, MachineFailure};
 pub use plan::{ChaosKind, FaultPlan, PlanEvent};
-pub use rng::ChaosRng;
+pub use rng::{mix_seed, ChaosRng};
 
 /// Per-segment corruption detections before that segment's fast path
 /// is disabled.

@@ -130,8 +130,14 @@ impl FaultPlan {
     /// Parses a plan file: one `CYCLE KIND` pair per line, `#` starts
     /// a comment, blank lines ignored. Kinds are [`ChaosKind::key`]
     /// names. The schedule is sorted by cycle (stably).
+    ///
+    /// Two entries addressing the same cycle are rejected (with both
+    /// line numbers): the engine fires at most one event per poll, so
+    /// a duplicate would silently push its twin later — almost always
+    /// a plan-file editing mistake, not an intent.
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
         let mut events = Vec::new();
+        let mut first_line_for_cycle = std::collections::HashMap::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -152,6 +158,12 @@ impl FaultPlan {
                 .map_err(|_| format!("line {}: bad cycle {cycle:?}", lineno + 1))?;
             let kind = ChaosKind::parse(kind)
                 .ok_or_else(|| format!("line {}: unknown kind {kind:?}", lineno + 1))?;
+            if let Some(first) = first_line_for_cycle.insert(at_cycle, lineno + 1) {
+                return Err(format!(
+                    "line {}: duplicate cycle {at_cycle} (first scheduled at line {first})",
+                    lineno + 1
+                ));
+            }
             events.push(PlanEvent { at_cycle, kind });
         }
         events.sort_by_key(|e| e.at_cycle);
@@ -263,6 +275,46 @@ mod tests {
         assert!(FaultPlan::parse("100 bad_kind").is_err());
         assert!(FaultPlan::parse("100").is_err());
         assert!(FaultPlan::parse("100 mem_parity extra").is_err());
+    }
+
+    #[test]
+    fn plan_file_errors_carry_line_numbers() {
+        let text = "100 mem_parity\n\n# comment\nabc tlb_corrupt\n";
+        let err = FaultPlan::parse(text).expect_err("bad cycle");
+        assert!(err.starts_with("line 4:"), "{err}");
+    }
+
+    #[test]
+    fn plan_file_rejects_duplicate_cycles() {
+        let text = "\
+100 mem_parity
+200 tlb_corrupt  # fine
+100 drum_read_error
+";
+        let err = FaultPlan::parse(text).expect_err("duplicate cycle");
+        assert!(
+            err.contains("line 3") && err.contains("duplicate cycle 100") && err.contains("line 1"),
+            "{err}"
+        );
+        // Direct Schedule construction stays permissive: the parser
+        // guard is about plan-file editing mistakes, not the API.
+        let plan = FaultPlan::Schedule(vec![
+            PlanEvent {
+                at_cycle: 5,
+                kind: ChaosKind::MemParity,
+            },
+            PlanEvent {
+                at_cycle: 5,
+                kind: ChaosKind::TlbCorrupt,
+            },
+        ]);
+        let mut w = Vec::new();
+        plan.export_words(&mut w);
+        let mut it = w.iter().copied();
+        assert_eq!(
+            FaultPlan::restore_words(&mut || it.next()).expect("round trip"),
+            plan
+        );
     }
 
     #[test]

@@ -25,6 +25,14 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Scrambles `a ⊕ b·φ` through one SplitMix64 round — the standard way
+/// to derive an uncorrelated seed from two correlated inputs (fleet
+/// seed × machine index, machine seed × restart attempt, …).
+pub fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut sm = a ^ b.wrapping_mul(0xA5A5_A5A5_A5A5_A5A5);
+    splitmix64(&mut sm)
+}
+
 impl ChaosRng {
     /// Expands `seed` into a full generator state via SplitMix64.
     pub fn seeded(seed: u64) -> ChaosRng {

@@ -165,6 +165,10 @@ pub enum RunExit {
     Halted,
     /// The instruction budget was exhausted.
     BudgetExhausted,
+    /// The simulated-cycle watermark was reached
+    /// ([`Machine::run_to_cycle`] only) — the machine is still live and
+    /// can continue running.
+    CycleLimit,
     /// A fault occurred while entering a trap (unrecoverable).
     DoubleFault(Fault),
 }
@@ -601,6 +605,16 @@ impl Machine {
         self.extra_cycles += cycles;
     }
 
+    /// Advances the simulated clock by `n` cycles without executing
+    /// anything. This is supervisor dead time — the restart backoff
+    /// between a machine failure and the restarted machine's first
+    /// instruction — so it moves the clock directly rather than going
+    /// through [`Machine::charge`] (whose cycles attach to the next
+    /// instruction) and does not consume the preemption timer.
+    pub fn advance_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
     /// Arms the chaos engine (deterministic fault injection). The
     /// default engine is inert; arming replaces it wholesale, so this
     /// happens during world building, before execution starts.
@@ -901,6 +915,33 @@ impl Machine {
     /// Runs until halt, a double fault, or `budget` instructions.
     pub fn run(&mut self, budget: u64) -> RunExit {
         for _ in 0..budget {
+            match self.step() {
+                StepOutcome::Halted => {
+                    return match self.double_fault {
+                        Some(f) => RunExit::DoubleFault(f),
+                        None => RunExit::Halted,
+                    }
+                }
+                StepOutcome::Ran | StepOutcome::Trapped(_) => {}
+            }
+        }
+        RunExit::BudgetExhausted
+    }
+
+    /// Runs until halt, a double fault, `budget` instructions, or the
+    /// simulated clock reaching `cycle_watermark` — whichever first.
+    ///
+    /// This is the checkpoint-cadence / watchdog primitive: a
+    /// supervisor runs the machine in cycle-bounded slices, capturing a
+    /// checkpoint at each [`RunExit::CycleLimit`] return, and treats a
+    /// machine that exhausts its cycle budget without halting as
+    /// wedged. Slicing is architecturally invisible — the steps taken
+    /// are exactly the steps [`Machine::run`] would take.
+    pub fn run_to_cycle(&mut self, cycle_watermark: u64, budget: u64) -> RunExit {
+        for _ in 0..budget {
+            if self.cycles >= cycle_watermark {
+                return RunExit::CycleLimit;
+            }
             match self.step() {
                 StepOutcome::Halted => {
                     return match self.double_fault {

@@ -9,18 +9,22 @@
 //!   --threads K      worker threads (default: host parallelism)
 //!   --seed S         fleet seed (default 0x5EED0F1EE7)
 //!   --mix M          pagestorm | gatestorm | mixed (default mixed)
+//!   --chaos-seed S   arm the chaos campaign with fleet chaos seed S
+//!   --chaos-rate R   mean cycles between faults (default 50000;
+//!                    implies --chaos-seed 0 if not given)
 //!   --out FILE       report path (default BENCH_fleet.json)
 //! ```
 //!
 //! Boots every machine from one frozen image per workload kind,
 //! runs the fleet across a work-stealing queue, prints aggregate
 //! simulated-instructions-per-second plus p50/p99 per-machine
-//! wall-clock, and writes a `ring-fleet/bench/v1` JSON report whose
-//! `merged_snapshot_hash` is bit-stable across `--threads` values for
-//! a fixed seed — the determinism contract CI enforces.
+//! wall-clock, and writes a `ring-fleet/bench/v2` JSON report whose
+//! `merged_snapshot_hash` — and, under chaos, health report and
+//! quarantine hash — are bit-stable across `--threads` values for a
+//! fixed seed — the determinism contract CI enforces.
 
-use ring_fleet::report::{fleet_json, fnv1a64, Percentiles};
-use ring_fleet::{run_fleet, FleetConfig, WorkloadMix};
+use ring_fleet::report::{fleet_json, fnv1a64, HealthReport, Percentiles};
+use ring_fleet::{run_fleet, ChaosParams, FleetConfig, WorkloadMix};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +34,8 @@ fn main() {
         ..FleetConfig::default()
     };
     let mut out = "BENCH_fleet.json".to_string();
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_rate: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut take = |what: &str| {
@@ -50,9 +56,17 @@ fn main() {
                     other => panic!("unknown mix {other:?} (pagestorm|gatestorm|mixed)"),
                 }
             }
+            "--chaos-seed" => chaos_seed = Some(take("--chaos-seed").parse().expect("chaos seed")),
+            "--chaos-rate" => chaos_rate = Some(take("--chaos-rate").parse().expect("chaos rate")),
             "--out" => out = take("--out"),
             other => panic!("unknown option {other:?}"),
         }
+    }
+    if chaos_seed.is_some() || chaos_rate.is_some() {
+        cfg.supervisor.chaos = Some(ChaosParams {
+            seed: chaos_seed.unwrap_or(0),
+            mean_interval: chaos_rate.unwrap_or(50_000).max(1),
+        });
     }
 
     let result = run_fleet(&cfg);
@@ -93,13 +107,50 @@ fn main() {
         image_pages, dirty_stats.p50, dirty_stats.p99,
     );
     println!("  merged snapshot hash: fnv1a64:{hash:016x}");
+    let health = HealthReport::of(&result.machines);
+    if cfg.supervisor.chaos.is_some() {
+        println!(
+            "  chaos: {} ring-0 recoveries, {} restarts on {} machines \
+             (mean {:.0} cycles to recover), {} quarantined",
+            health.recoveries,
+            health.restarts_total,
+            health.restarted_machines,
+            health.mean_cycles_to_recover(),
+            health.quarantined.len(),
+        );
+        println!(
+            "  quarantine hash: fnv1a64:{:016x}",
+            health.quarantine_hash()
+        );
+    }
 
     std::fs::write(&out, fleet_json(&cfg, &result, quick)).expect("write report");
     println!("wrote {out}");
 
-    assert_eq!(
-        completed,
-        result.machines.len(),
-        "every machine must run its workload to completion"
+    assert!(
+        result.member_errors.is_empty(),
+        "host-side member errors: {:?}",
+        result.member_errors
     );
+    if cfg.supervisor.chaos.is_some() {
+        // Under chaos, killed (confined) processes make `completed`
+        // too strict; health means every machine either halted cleanly
+        // or was explicitly quarantined.
+        let accounted = result
+            .machines
+            .iter()
+            .filter(|m| m.halted || m.health.is_quarantined())
+            .count();
+        assert_eq!(
+            accounted,
+            result.machines.len(),
+            "every machine must halt or be quarantined"
+        );
+    } else {
+        assert_eq!(
+            completed,
+            result.machines.len(),
+            "every machine must run its workload to completion"
+        );
+    }
 }

@@ -31,7 +31,9 @@
 
 pub mod queue;
 pub mod report;
+pub mod supervisor;
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -41,6 +43,9 @@ use ring_os::boot::{BootImage, System, SystemConfig};
 use ring_os::workload::{
     install_gate_storm, install_page_storm, GateStormSpec, StormProc, StormSpec,
 };
+
+pub use ring_chaos::{FailureClass, MachineFailure};
+pub use supervisor::{run_supervised, ChaosParams, MachineHealth, SupervisorConfig};
 
 /// Which canned workload a machine runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,6 +127,10 @@ pub struct FleetConfig {
     pub phys_words: usize,
     /// Fast-path execution engine switch.
     pub fastpath: bool,
+    /// Self-healing supervisor policy (chaos campaign, checkpoint
+    /// cadence, restart budget). With `supervisor.chaos == None` and no
+    /// kill injector, machines run exactly as an unsupervised fleet.
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for FleetConfig {
@@ -140,6 +149,7 @@ impl Default for FleetConfig {
             budget: 5_000_000,
             phys_words: 1 << 17,
             fastpath: true,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -211,19 +221,43 @@ pub struct MachineResult {
     /// Whether the machine halted with every process exited cleanly
     /// inside the cycle budget.
     pub completed: bool,
-    /// Copy-on-write pages this machine dirtied (0 on flat boots).
+    /// Whether the machine halted cleanly at all. Under chaos this is
+    /// the health criterion: recovery may confine (kill) a damaged
+    /// process, making `completed` false on a perfectly healthy halt.
+    pub halted: bool,
+    /// Copy-on-write pages this machine dirtied (0 on flat boots;
+    /// large after a checkpoint restart, which detaches the image).
     pub dirty_pages: u32,
     /// The machine's full observability snapshot.
     pub snapshot: MetricsSnapshot,
+    /// The supervisor's health ledger (restarts, failures, quarantine).
+    pub health: MachineHealth,
+}
+
+/// A worker-thread failure that cost the fleet a machine result.
+#[derive(Clone, Debug)]
+pub struct MemberError {
+    /// The machine whose result is missing.
+    pub id: usize,
+    /// What happened (panic message, or "never ran").
+    pub detail: String,
 }
 
 /// A whole fleet's outcome.
 #[derive(Debug)]
 pub struct FleetResult {
-    /// Per-machine results in index order.
+    /// Per-machine results in index order (machines listed in
+    /// [`FleetResult::member_errors`] are absent).
     pub machines: Vec<MachineResult>,
-    /// Every machine snapshot folded in index order.
+    /// Every healthy (non-quarantined) machine snapshot folded in
+    /// index order. Quarantined machines are reported individually and
+    /// hashed separately, never merged.
     pub merged: MetricsSnapshot,
+    /// Host-side failures, in index order: worker panics outside the
+    /// supervised attempt loop, or machines no worker ever ran. Empty
+    /// on a sound run — machine failures under chaos are *not* errors;
+    /// they surface as [`MachineHealth`] entries.
+    pub member_errors: Vec<MemberError>,
     /// Host wall-clock for the whole fleet (image builds included).
     pub wall_seconds: f64,
     /// Worker threads actually used.
@@ -232,13 +266,17 @@ pub struct FleetResult {
     pub image_words: usize,
 }
 
-/// Installs `spec`'s workload on a booted system and runs it to
-/// completion (or budget), returning the machine's result.
-fn install_and_run(mut sys: System, cfg: &FleetConfig, spec: MachineSpec) -> MachineResult {
-    let start = Instant::now();
-    let procs: Vec<StormProc> = match spec.kind {
+/// Installs `spec`'s workload on a freshly booted system (shared with
+/// the supervised path, which must replay the exact same world build
+/// before restoring a checkpoint).
+pub(crate) fn install_workload(
+    sys: &mut System,
+    cfg: &FleetConfig,
+    spec: MachineSpec,
+) -> Vec<StormProc> {
+    match spec.kind {
         WorkloadKind::PageStorm => install_page_storm(
-            &mut sys,
+            sys,
             &StormSpec {
                 procs: cfg.procs,
                 pages: cfg.pages,
@@ -246,13 +284,27 @@ fn install_and_run(mut sys: System, cfg: &FleetConfig, spec: MachineSpec) -> Mac
             },
         ),
         WorkloadKind::GateStorm => install_gate_storm(
-            &mut sys,
+            sys,
             &GateStormSpec {
                 procs: cfg.procs,
                 rounds: spec.rounds,
             },
         ),
-    };
+    }
+}
+
+/// Whether this fleet's machines need the supervisor's slicing and
+/// checkpoint machinery at all; a chaos-free fleet takes the plain
+/// single-run path (no checkpoint clones, no CoW-detaching restores).
+fn supervised(cfg: &FleetConfig) -> bool {
+    cfg.supervisor.chaos.is_some() || cfg.supervisor.kill_machine.is_some()
+}
+
+/// Installs `spec`'s workload on a booted system and runs it to
+/// completion (or budget), returning the machine's result.
+fn install_and_run(mut sys: System, cfg: &FleetConfig, spec: MachineSpec) -> MachineResult {
+    let start = Instant::now();
+    let procs = install_workload(&mut sys, cfg, spec);
     sys.enable_metrics();
     sys.machine.set_timer(Some(cfg.quantum));
     let exit = sys.machine.run(cfg.budget);
@@ -267,8 +319,10 @@ fn install_and_run(mut sys: System, cfg: &FleetConfig, spec: MachineSpec) -> Mac
         cycles: sys.machine.cycles(),
         wall_ns: start.elapsed().as_nanos() as u64,
         completed: exit == RunExit::Halted && all_exited,
+        halted: exit == RunExit::Halted,
         dirty_pages: sys.machine.phys().dirty_pages(),
         snapshot: sys.metrics_snapshot(),
+        health: MachineHealth::default(),
     }
 }
 
@@ -310,15 +364,25 @@ pub fn build_image(cfg: &FleetConfig, kind: WorkloadKind) -> BootImage {
 
 /// Runs one fleet member over the shared image: boots a copy-on-write
 /// system and replays the workload install (dirtying only what
-/// diverges) before running.
+/// diverges) before running. Routes through the self-healing
+/// supervisor when the fleet has a chaos campaign configured.
 pub fn run_member(image: &BootImage, cfg: &FleetConfig, spec: MachineSpec) -> MachineResult {
-    install_and_run(System::boot_from_image(image), cfg, spec)
+    if supervised(cfg) {
+        run_supervised(&|| System::boot_from_image(image), cfg, spec)
+    } else {
+        install_and_run(System::boot_from_image(image), cfg, spec)
+    }
 }
 
 /// Runs `spec` standalone on a private flat memory — the reference
-/// a fleet member must be bit-identical to.
+/// a fleet member must be bit-identical to (supervised when the
+/// config says so, exactly as [`run_member`]).
 pub fn run_standalone(cfg: &FleetConfig, spec: MachineSpec) -> MachineResult {
-    install_and_run(System::boot_with(cfg.system_config()), cfg, spec)
+    if supervised(cfg) {
+        run_supervised(&|| System::boot_with(cfg.system_config()), cfg, spec)
+    } else {
+        install_and_run(System::boot_with(cfg.system_config()), cfg, spec)
+    }
 }
 
 /// Resolves the worker-thread count: explicit, or host parallelism.
@@ -337,12 +401,14 @@ pub fn resolve_threads(cfg: &FleetConfig) -> usize {
 /// machine locally over the kind's shared image, and deposit results
 /// by index; the merged snapshot folds in index order on the calling
 /// thread, so thread count and steal interleaving cannot reach the
-/// bytes.
+/// bytes. Quarantined machines keep their per-machine results but are
+/// excluded from the healthy merged snapshot.
 ///
-/// # Panics
-///
-/// Panics if a worker thread panics (a machine failed to build), or if
-/// any machine slot ends up unclaimed — both are bugs, not outcomes.
+/// A worker panic outside the supervised attempt loop does not bring
+/// the fleet down: the panic is caught, the machine's slot is recorded
+/// in [`FleetResult::member_errors`], and the worker moves on to its
+/// next index. (Panics *inside* an attempt are the supervisor's
+/// problem and surface as [`FailureClass::HostPanic`] failures.)
 pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
     let start = Instant::now();
     let threads = resolve_threads(cfg).max(1);
@@ -356,8 +422,9 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
         .or(gate_image.as_ref())
         .map_or(0, BootImage::words);
 
+    type Slot = Option<Result<MachineResult, String>>;
     let queue = queue::RunQueue::new(specs.len(), threads);
-    let slots: Mutex<Vec<Option<MachineResult>>> = Mutex::new(vec![None; specs.len()]);
+    let slots: Mutex<Vec<Slot>> = Mutex::new(vec![None; specs.len()]);
     std::thread::scope(|s| {
         for w in 0..threads {
             let queue = &queue;
@@ -368,31 +435,47 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetResult {
             s.spawn(move || {
                 while let Some(i) = queue.next(w) {
                     let spec = specs[i];
-                    let image = match spec.kind {
-                        WorkloadKind::PageStorm => page_image.expect("page image built"),
-                        WorkloadKind::GateStorm => gate_image.expect("gate image built"),
-                    };
-                    let result = run_member(image, cfg, spec);
-                    slots.lock().expect("result lock")[i] = Some(result);
+                    let slot = catch_unwind(AssertUnwindSafe(|| {
+                        let image = match spec.kind {
+                            WorkloadKind::PageStorm => page_image.expect("page image built"),
+                            WorkloadKind::GateStorm => gate_image.expect("gate image built"),
+                        };
+                        run_member(image, cfg, spec)
+                    }))
+                    .map_err(supervisor::panic_message);
+                    slots.lock().expect("result lock")[i] = Some(slot);
                 }
             });
         }
     });
 
-    let machines: Vec<MachineResult> = slots
+    let mut machines = Vec::with_capacity(specs.len());
+    let mut member_errors = Vec::new();
+    for (i, slot) in slots
         .into_inner()
         .expect("result lock")
         .into_iter()
         .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| panic!("machine {i} never ran")))
-        .collect();
+    {
+        match slot {
+            Some(Ok(result)) => machines.push(result),
+            Some(Err(detail)) => member_errors.push(MemberError { id: i, detail }),
+            None => member_errors.push(MemberError {
+                id: i,
+                detail: "machine never ran (worker lost before claiming it)".to_string(),
+            }),
+        }
+    }
     let mut merged = MetricsSnapshot::default();
     for m in &machines {
-        merged.merge(&m.snapshot);
+        if !m.health.is_quarantined() {
+            merged.merge(&m.snapshot);
+        }
     }
     FleetResult {
         machines,
         merged,
+        member_errors,
         wall_seconds: start.elapsed().as_secs_f64(),
         threads,
         image_words,

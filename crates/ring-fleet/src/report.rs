@@ -1,7 +1,9 @@
-//! Fleet reporting: exact percentiles, a stable snapshot hash, and the
-//! `ring-fleet/bench/v1` JSON trajectory.
+//! Fleet reporting: exact percentiles, stable snapshot hashes, the
+//! fleet health report, and the `ring-fleet/bench/v2` JSON trajectory.
 
-use crate::{FleetConfig, FleetResult, WorkloadKind};
+use ring_chaos::FailureClass;
+
+use crate::{FleetConfig, FleetResult, MachineResult, WorkloadKind};
 
 /// Exact order statistics over a set of per-machine values (unlike the
 /// bucketed [`ring_metrics::HistogramSnapshot`] percentiles, these are
@@ -62,7 +64,122 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Serializes a fleet run as `ring-fleet/bench/v1` JSON.
+/// One quarantined machine in the health report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Fleet index of the quarantined machine.
+    pub id: usize,
+    /// Class of the final (quarantining) failure.
+    pub class: FailureClass,
+    /// Attempts the supervisor made before giving up (original run
+    /// plus every restart).
+    pub attempts: u32,
+}
+
+/// The fleet's self-healing ledger, folded from per-machine health in
+/// index order — bit-identical across worker-thread counts, exactly
+/// like the merged metrics snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HealthReport {
+    /// Checkpoint restarts across the fleet.
+    pub restarts_total: u64,
+    /// Machines that needed at least one restart.
+    pub restarted_machines: u64,
+    /// Terminal attempt failures per class, in [`FailureClass::ALL`]
+    /// order.
+    pub failures_by_class: [u64; FailureClass::ALL.len()],
+    /// Quarantined machines in index order.
+    pub quarantined: Vec<QuarantineEntry>,
+    /// Faults ring-0 recovery survived (summed `chaos.recovered`
+    /// extras) — the layer *below* the supervisor doing its job.
+    pub recoveries: u64,
+    /// Simulated cycles the fleet spent recovering (rolled-back work
+    /// plus backoff, summed over every restart).
+    pub recovery_cycles_total: u64,
+}
+
+impl HealthReport {
+    /// Folds per-machine health, in index order.
+    pub fn of(machines: &[MachineResult]) -> HealthReport {
+        let mut report = HealthReport::default();
+        for m in machines {
+            report.restarts_total += u64::from(m.health.restarts);
+            report.restarted_machines += u64::from(m.health.restarts > 0);
+            for f in &m.health.failures {
+                report.failures_by_class[f.class as usize] += 1;
+            }
+            if let Some(q) = &m.health.quarantined {
+                report.quarantined.push(QuarantineEntry {
+                    id: m.spec.id,
+                    class: q.class,
+                    attempts: m.health.failures.len() as u32,
+                });
+            }
+            report.recoveries += m.snapshot.extra("chaos.recovered").unwrap_or(0);
+            report.recovery_cycles_total += m.health.recovery_cycles;
+        }
+        report
+    }
+
+    /// Mean simulated cycles per restart (0.0 when nothing restarted).
+    pub fn mean_cycles_to_recover(&self) -> f64 {
+        if self.restarts_total == 0 {
+            0.0
+        } else {
+            self.recovery_cycles_total as f64 / self.restarts_total as f64
+        }
+    }
+
+    /// FNV-1a hash of the canonical quarantine list (`id:class:attempts`
+    /// lines, index order). CI compares it across thread counts; the
+    /// healthy merged-snapshot hash deliberately excludes quarantined
+    /// machines, so this is their determinism fingerprint.
+    pub fn quarantine_hash(&self) -> u64 {
+        let mut canon = String::new();
+        for q in &self.quarantined {
+            canon.push_str(&format!("{}:{}:{}\n", q.id, q.class, q.attempts));
+        }
+        fnv1a64(canon.as_bytes())
+    }
+
+    fn json(&self, cfg: &FleetConfig) -> String {
+        let failures: Vec<String> = FailureClass::ALL
+            .iter()
+            .map(|c| format!("\"{}\": {}", c.key(), self.failures_by_class[*c as usize]))
+            .collect();
+        let quarantined: Vec<String> = self
+            .quarantined
+            .iter()
+            .map(|q| {
+                format!(
+                    "{{\"id\": {}, \"class\": \"{}\", \"attempts\": {}}}",
+                    q.id, q.class, q.attempts
+                )
+            })
+            .collect();
+        let (enabled, seed, interval) = match cfg.supervisor.chaos {
+            Some(ch) => (true, ch.seed, ch.mean_interval),
+            None => (false, 0, 0),
+        };
+        format!(
+            "{{\"enabled\": {enabled}, \"seed\": {seed}, \"mean_interval\": {interval}, \
+             \"restarts\": {restarts}, \"restarted_machines\": {rmachines}, \
+             \"recoveries\": {recoveries}, \"mean_cycles_to_recover\": {mctr:.1}, \
+             \"failures\": {{{failures}}}, \"quarantined\": [{quarantined}], \
+             \"quarantine_hash\": \"fnv1a64:{qhash:016x}\"}}",
+            restarts = self.restarts_total,
+            rmachines = self.restarted_machines,
+            recoveries = self.recoveries,
+            mctr = self.mean_cycles_to_recover(),
+            failures = failures.join(", "),
+            quarantined = quarantined.join(", "),
+            qhash = self.quarantine_hash(),
+        )
+    }
+}
+
+/// Serializes a fleet run as `ring-fleet/bench/v2` JSON (v2 added the
+/// `chaos` health section and `member_errors`).
 pub fn fleet_json(cfg: &FleetConfig, result: &FleetResult, quick: bool) -> String {
     let count = |k: WorkloadKind| result.machines.iter().filter(|m| m.spec.kind == k).count();
     let completed = result.machines.iter().filter(|m| m.completed).count();
@@ -83,19 +200,25 @@ pub fn fleet_json(cfg: &FleetConfig, result: &FleetResult, quick: bool) -> Strin
         0.0
     };
     let hash = fnv1a64(result.merged.to_json().as_bytes());
+    let health = HealthReport::of(&result.machines);
+    let halted = result.machines.iter().filter(|m| m.halted).count();
     format!(
-        "{{\n  \"schema\": \"ring-fleet/bench/v1\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"schema\": \"ring-fleet/bench/v2\",\n  \"quick\": {quick},\n  \
          \"machines\": {machines},\n  \"threads\": {threads},\n  \"seed\": {seed},\n  \
          \"workloads\": {{\"pagestorm\": {pagestorm}, \"gatestorm\": {gatestorm}}},\n  \
          \"wall_seconds\": {wall:.6},\n  \
          \"aggregate\": {{\"instructions\": {instructions}, \"cycles\": {cycles}, \
-         \"ips\": {ips:.1}, \"completed\": {completed}, \
+         \"ips\": {ips:.1}, \"completed\": {completed}, \"halted\": {halted}, \
          \"context_switches\": {switches}, \"page_faults\": {pfaults}, \
          \"ring_crossings\": {crossings}}},\n  \
          \"per_machine\": {{\n    \"wall_ns\": {wall_pct},\n    \"instructions\": {instr_pct}\n  }},\n  \
          \"cow\": {{\"phys_words\": {words}, \"image_pages\": {image_pages}, \
          \"dirty_pages\": {dirty_pct}, \"shared_fraction\": {shared:.4}}},\n  \
+         \"chaos\": {chaos},\n  \
+         \"member_errors\": {member_errors},\n  \
          \"merged_snapshot_hash\": \"fnv1a64:{hash:016x}\"\n}}\n",
+        chaos = health.json(cfg),
+        member_errors = result.member_errors.len(),
         machines = result.machines.len(),
         threads = result.threads,
         seed = cfg.seed,

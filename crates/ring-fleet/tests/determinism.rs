@@ -7,8 +7,11 @@
 //! single-machine path). The copy-on-write boot image is likewise
 //! required to be architecturally invisible.
 
-use ring_fleet::report::{fleet_json, fnv1a64};
-use ring_fleet::{build_image, run_fleet, run_member, run_standalone, FleetConfig, WorkloadMix};
+use ring_fleet::report::{fleet_json, fnv1a64, HealthReport};
+use ring_fleet::{
+    build_image, run_fleet, run_member, run_standalone, ChaosParams, FleetConfig, SupervisorConfig,
+    WorkloadMix,
+};
 
 fn small_fleet() -> FleetConfig {
     FleetConfig {
@@ -101,9 +104,10 @@ fn fleet_completes_and_reports_consistently() {
         result.merged.instructions, sum,
         "merged totals equal the sum of members"
     );
+    assert!(result.member_errors.is_empty(), "no host-side failures");
     let json = fleet_json(&cfg, &result, true);
     for needle in [
-        "\"schema\": \"ring-fleet/bench/v1\"",
+        "\"schema\": \"ring-fleet/bench/v2\"",
         "\"machines\": 16",
         "\"pagestorm\": 8",
         "\"gatestorm\": 8",
@@ -111,8 +115,77 @@ fn fleet_completes_and_reports_consistently() {
         "\"p50\"",
         "\"p99\"",
         "\"shared_fraction\"",
+        "\"chaos\": {\"enabled\": false",
+        "\"quarantine_hash\": \"fnv1a64:",
+        "\"member_errors\": 0",
     ] {
         assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+}
+
+fn chaotic_fleet(threads: usize) -> FleetConfig {
+    FleetConfig {
+        threads,
+        supervisor: SupervisorConfig {
+            chaos: Some(ChaosParams {
+                seed: 0xC4A05,
+                mean_interval: 300,
+            }),
+            checkpoint_every: 500,
+            ..SupervisorConfig::default()
+        },
+        ..small_fleet()
+    }
+}
+
+#[test]
+fn chaos_fleet_is_bit_identical_across_thread_counts() {
+    let one = run_fleet(&chaotic_fleet(1));
+    let eight = run_fleet(&chaotic_fleet(8));
+    assert!(one.member_errors.is_empty() && eight.member_errors.is_empty());
+    assert_eq!(
+        one.merged.to_json(),
+        eight.merged.to_json(),
+        "chaos merged snapshot depends on threads"
+    );
+    let health_one = HealthReport::of(&one.machines);
+    let health_eight = HealthReport::of(&eight.machines);
+    assert_eq!(health_one, health_eight, "health report depends on threads");
+    assert_eq!(health_one.quarantine_hash(), health_eight.quarantine_hash());
+    assert!(
+        health_one.recoveries > 0,
+        "the campaign must actually inject (got a silent no-op)"
+    );
+    for (a, b) in one.machines.iter().zip(eight.machines.iter()) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(
+            a.snapshot.to_json(),
+            b.snapshot.to_json(),
+            "machine {} chaos snapshot depends on threads",
+            a.spec.id
+        );
+    }
+}
+
+#[test]
+fn chaos_member_is_bit_identical_to_standalone_flat_run() {
+    let cfg = chaotic_fleet(1);
+    for id in [0, 1] {
+        let spec = cfg.spec(id);
+        let image = build_image(&cfg, spec.kind);
+        let member = run_member(&image, &cfg, spec);
+        let standalone = run_standalone(&cfg, spec);
+        assert_eq!(member.instructions, standalone.instructions);
+        assert_eq!(member.cycles, standalone.cycles);
+        assert_eq!(member.halted, standalone.halted);
+        assert_eq!(member.health.restarts, standalone.health.restarts);
+        assert_eq!(
+            member.snapshot.to_json(),
+            standalone.snapshot.to_json(),
+            "machine {id}: supervision must not make copy-on-write visible"
+        );
     }
 }
 

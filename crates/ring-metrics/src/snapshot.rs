@@ -421,6 +421,12 @@ impl MetricsSnapshot {
         self.extra.push((key.into(), value));
     }
 
+    /// The value of a supplementary counter by its key, if present
+    /// (e.g. `chaos.recovered` when chaos injection is enabled).
+    pub fn extra(&self, key: &str) -> Option<u64> {
+        self.extra.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
     /// The value of a crossing counter by its key, if present.
     pub fn crossing(&self, key: &str) -> Option<u64> {
         self.crossings

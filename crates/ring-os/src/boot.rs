@@ -103,6 +103,24 @@ impl BootImage {
     }
 }
 
+/// A restartable world snapshot: the machine's architectural image
+/// plus the supervisor's host-side state and the metrics recorder.
+///
+/// This is the unit of the fleet supervisor's self-healing loop: a
+/// machine that wedges, double-faults, or fails its post-recovery
+/// invariant check is rewound to its last checkpoint
+/// ([`System::restore_checkpoint`]) and re-run — deterministically,
+/// since everything influencing execution is inside the snapshot.
+#[derive(Clone)]
+pub struct SystemCheckpoint {
+    image: ring_cpu::MachineImage,
+    os: OsState,
+    metrics: ring_metrics::Metrics,
+    /// Simulated cycles at capture (restart bookkeeping: cycles lost
+    /// to a rewind are `failure_cycles - checkpoint.cycles`).
+    pub cycles: u64,
+}
+
 /// A booted system: machine plus supervisor state.
 pub struct System {
     /// The processor and memory.
@@ -388,9 +406,42 @@ impl System {
 
     /// Runs the chaos protection-invariant checker against the current
     /// world (descriptor brackets, frame-pool/PTW agreement, SDW-cache
-    /// coherence).
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// coherence). Violations come back typed
+    /// ([`crate::invariants::InvariantViolation`]) so callers can
+    /// classify them instead of string-matching.
+    pub fn check_invariants(&self) -> Result<(), crate::invariants::InvariantViolation> {
         crate::invariants::check(&self.machine, &self.state.borrow())
+    }
+
+    /// Captures the complete simulated world — machine image (v2:
+    /// registers, memory, I/O, chaos state), the supervisor's host-side
+    /// state, and the metrics recorder — as a restartable checkpoint.
+    ///
+    /// Capture is uncounted and read-only: taking a checkpoint never
+    /// perturbs the run (the fleet supervisor checkpoints on a cycle
+    /// cadence mid-execution).
+    pub fn checkpoint(&self) -> SystemCheckpoint {
+        SystemCheckpoint {
+            image: self.machine.capture_image(),
+            os: self.state.borrow().clone(),
+            metrics: self.machine.metrics().clone(),
+            cycles: self.machine.cycles(),
+        }
+    }
+
+    /// Rewinds the world to `ck`: machine image, supervisor state, and
+    /// metrics recorder all restored exactly as captured. The system
+    /// must have been built with the same configuration that produced
+    /// the checkpoint.
+    ///
+    /// Restoring detaches a copy-on-write boot from its shared image
+    /// (memory is rematerialized privately), which is architecturally
+    /// invisible but shows up as dirty pages.
+    pub fn restore_checkpoint(&mut self, ck: &SystemCheckpoint) -> Result<(), String> {
+        self.machine.restore_image(&ck.image)?;
+        *self.state.borrow_mut() = ck.os.clone();
+        *self.machine.metrics_mut() = ck.metrics.clone();
+        Ok(())
     }
 
     /// The supervisor's fault-recovery counters.

@@ -26,12 +26,63 @@ use ring_core::sdw::Sdw;
 
 use crate::state::OsState;
 
-/// Checks the protection invariants; returns a description of the
-/// first violation found.
-pub fn check(m: &Machine, s: &OsState) -> Result<(), String> {
-    check_descriptor_brackets(m, s)?;
-    check_frame_pool(m, s)?;
-    check_sdw_cache_coherence(m, s)
+/// Which protection invariant a violation broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InvariantClass {
+    /// An SDW grants access its brackets should deny (R1 ≤ R2 ≤ R3
+    /// broken in a live descriptor segment).
+    BracketOrdering,
+    /// The frame pool and the page tables disagree about who owns a
+    /// physical frame.
+    FramePool,
+    /// A cached SDW no longer matches the descriptor pair it caches.
+    SdwCacheCoherence,
+}
+
+impl InvariantClass {
+    /// Stable machine-readable name (report keys, quarantine lists).
+    pub fn key(self) -> &'static str {
+        match self {
+            InvariantClass::BracketOrdering => "bracket_ordering",
+            InvariantClass::FramePool => "frame_pool",
+            InvariantClass::SdwCacheCoherence => "sdw_cache_coherence",
+        }
+    }
+}
+
+/// A typed invariant violation: which invariant broke, plus a
+/// human-readable description of the first inconsistency found.
+///
+/// This is an error type (not an assertion) because a violation is an
+/// *outcome* the fleet supervisor classifies and heals around — a
+/// machine whose recovery left the protection state inconsistent is
+/// restarted from a checkpoint, and quarantined if that keeps failing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant broke.
+    pub class: InvariantClass,
+    /// What, precisely, is inconsistent.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.class.key(), self.detail)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+fn violation(class: InvariantClass, detail: String) -> InvariantViolation {
+    InvariantViolation { class, detail }
+}
+
+/// Checks the protection invariants; returns the first violation
+/// found, typed by invariant class.
+pub fn check(m: &Machine, s: &OsState) -> Result<(), InvariantViolation> {
+    check_descriptor_brackets(m, s).map_err(|d| violation(InvariantClass::BracketOrdering, d))?;
+    check_frame_pool(m, s).map_err(|d| violation(InvariantClass::FramePool, d))?;
+    check_sdw_cache_coherence(m, s).map_err(|d| violation(InvariantClass::SdwCacheCoherence, d))
 }
 
 /// Invariant 1: bracket ordering in every live descriptor segment.

@@ -49,7 +49,8 @@ pub mod traps;
 pub mod workload;
 
 pub use acl::{Acl, AclEntry, Modes};
-pub use boot::{System, SystemConfig};
+pub use boot::{System, SystemCheckpoint, SystemConfig};
 pub use driver::{gen_call_sequence, Staged};
 pub use fs::{FileSystem, SegmentId};
+pub use invariants::{InvariantClass, InvariantViolation};
 pub use state::{AuditRecord, ChaosRecoveryStats, OsState, SupervisorStats};

@@ -28,6 +28,7 @@ pub struct KstEntry {
 }
 
 /// One process.
+#[derive(Clone, Debug)]
 pub struct ProcessState {
     /// Owning user.
     pub user: String,

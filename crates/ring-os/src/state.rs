@@ -118,6 +118,12 @@ impl ChaosRecoveryStats {
 }
 
 /// The supervisor's in-memory state.
+///
+/// `Clone` exists for checkpointing: the fleet supervisor snapshots
+/// the whole supervisor state alongside a machine image so a failed
+/// machine can be restarted from the checkpoint
+/// ([`crate::boot::System::checkpoint`]).
+#[derive(Clone)]
 pub struct OsState {
     /// Registered user names.
     pub users: Vec<String>,

@@ -75,7 +75,7 @@ pub struct SchedStats {
 /// scheduler never invents pids; it only reorders the ones the kernel
 /// hands it, so the kernel stays free to consult its own table for
 /// liveness before dispatching.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Scheduler {
     ready: VecDeque<usize>,
     blocked: Vec<(usize, BlockReason)>,

@@ -34,7 +34,7 @@ pub struct PageKey {
 }
 
 /// The simulated drum: evicted pages, keyed by stored segment.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BackingStore {
     pages: BTreeMap<PageKey, Vec<Word>>,
     writes: u64,

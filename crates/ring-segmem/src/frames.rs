@@ -67,7 +67,7 @@ pub struct Acquire {
 }
 
 /// A fixed budget of page frames with CLOCK (second-chance) eviction.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FramePool {
     budget: usize,
     /// Resident frames in acquisition order; the CLOCK hand walks this.
